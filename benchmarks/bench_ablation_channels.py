@@ -1,0 +1,101 @@
+"""Ablation: channel throughput vs buffer capacity (design choice #1).
+
+Bounded channels buy fairness and bounded memory at the cost of more
+producer/consumer handoffs.  This measures the raw byte throughput of a
+two-thread pipe across capacities, and the end-to-end element rate of a
+typed pipeline — quantifying what the paper's "default buffer capacities
+... are sufficient" remark costs at the extremes.
+"""
+
+import threading
+
+import pytest
+
+from repro.kpn import Network
+from repro.kpn.buffers import BoundedByteBuffer
+from repro.processes import Collect, Sequence
+
+PAYLOAD = 1 << 20  # 1 MiB through the pipe per round
+
+
+def pump_bytes(capacity: int) -> None:
+    buf = BoundedByteBuffer(capacity)
+    chunk = b"x" * min(capacity, 64 * 1024)
+
+    def writer():
+        sent = 0
+        while sent < PAYLOAD:
+            buf.write(chunk)
+            sent += len(chunk)
+        buf.close_write()
+
+    t = threading.Thread(target=writer, daemon=True)
+    t.start()
+    received = 0
+    while True:
+        data = buf.read(64 * 1024)
+        if not data:
+            break
+        received += len(data)
+    t.join()
+    assert received >= PAYLOAD
+
+
+@pytest.mark.benchmark(group="channel-throughput")
+@pytest.mark.parametrize("capacity", [64, 1024, 16 * 1024, 256 * 1024])
+def test_byte_throughput_vs_capacity(benchmark, capacity):
+    benchmark(pump_bytes, capacity)
+
+
+def element_pipeline(capacity: int, n: int = 2000) -> list:
+    net = Network()
+    ch = net.channel(capacity)
+    out = []
+    net.add(Sequence(ch.get_output_stream(), iterations=n))
+    net.add(Collect(ch.get_input_stream(), out))
+    net.run(timeout=120)
+    return out
+
+
+@pytest.mark.benchmark(group="element-rate")
+@pytest.mark.parametrize("capacity", [8, 128, 4096])
+def test_element_rate_vs_capacity(benchmark, capacity):
+    out = benchmark(element_pipeline, capacity)
+    assert len(out) == 2000
+
+
+def drain_prefilled(n_elements: int) -> None:
+    """Element reads from one large prefilled buffer.
+
+    Regression guard for a found-and-fixed performance bug: consuming
+    via ``del bytearray[:n]`` made each read O(buffered bytes), turning
+    this pattern quadratic (~minutes at 200k elements); the read-cursor
+    buffer does it in well under a second.
+    """
+    from repro.kpn.channel import Channel
+    from repro.processes.codecs import LONG
+
+    ch = Channel((n_elements + 10) * 8)
+    out = ch.get_output_stream()
+    inp = ch.get_input_stream()
+    block = b"\x00" * 8000
+    for _ in range(0, n_elements, 1000):
+        out.write(block)
+    for _ in range(n_elements):
+        LONG.read(inp)
+
+
+@pytest.mark.benchmark(group="prefilled-drain")
+def test_large_prefilled_drain_linear(benchmark):
+    benchmark.pedantic(drain_prefilled, args=(200_000,), rounds=2,
+                       iterations=1)
+    # linearity guard: double the size must stay far under 4x the time
+    import time
+
+    t0 = time.perf_counter()
+    drain_prefilled(100_000)
+    t_small = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    drain_prefilled(200_000)
+    t_large = time.perf_counter() - t0
+    assert t_large < t_small * 4 + 0.5

@@ -1,0 +1,85 @@
+"""Distribution overhead on real OS-process servers.
+
+The paper attributes the gap between ideal and measured dynamic speedup
+to "constructing the process network and distributing worker processes to
+compute servers" plus "Object Serialization and network communication"
+(§5.2, ≤6–7 % at one worker).  This benchmark measures our equivalents
+directly, with servers as separate OS processes (own interpreters, real
+sockets):
+
+* per-call RPC cost (``call`` round trip with a trivial task);
+* worker-distribution cost (ship a Worker process, channels and all);
+* end-to-end farm overhead: distributed vs purely-local farm on the
+  same task list.
+
+NOTE on speedup: this CI machine has **one CPU**, so parallel *speedup*
+is structurally unmeasurable here (everything timeshares one core); on a
+multicore host the same harness demonstrates real speedup since each
+server owns its own GIL.  The overhead numbers below are valid on any
+machine and are the quantity the paper's 6–7 % claim concerns.
+"""
+
+import time
+
+import pytest
+
+from repro.distributed import LocalCluster
+from repro.parallel import (CallableTask, FactorProducerTask, make_weak_key,
+                            run_farm)
+
+from conftest import emit
+
+N_TASKS = 24
+
+
+@pytest.fixture(scope="module")
+def process_cluster():
+    with LocalCluster(2, mode="process", name_prefix="real") as cluster:
+        yield cluster
+
+
+@pytest.mark.benchmark(group="real-distributed")
+def test_rpc_round_trip_cost(benchmark, process_cluster):
+    client = process_cluster.client(0)
+    result = benchmark(client.call, CallableTask(abs, -1))
+    assert result == 1
+
+
+@pytest.mark.benchmark(group="real-distributed")
+def test_distributed_vs_local_farm_overhead(benchmark, process_cluster):
+    n, p, d = make_weak_key(bits=64, found_at_task=N_TASKS + 5, seed=41)
+
+    def run_local():
+        return run_farm(FactorProducerTask(n, max_tasks=N_TASKS),
+                        n_workers=2, mode="dynamic", timeout=300)
+
+    def run_distributed():
+        return run_farm(FactorProducerTask(n, max_tasks=N_TASKS),
+                        n_workers=2, mode="dynamic", timeout=300,
+                        cluster=process_cluster)
+
+    # correctness first: identical results both ways
+    local = run_local()
+    distributed = run_distributed()
+    assert [(r.task_index, r.p) for r in local] == \
+        [(r.task_index, r.p) for r in distributed]
+
+    t0 = time.perf_counter()
+    run_local()
+    t_local = time.perf_counter() - t0
+
+    def timed_distributed():
+        return run_distributed()
+
+    benchmark.pedantic(timed_distributed, rounds=3, iterations=1)
+    t_dist = benchmark.stats.stats.median
+
+    emit("real_distributed", [
+        f"OS-process servers, {N_TASKS} factoring tasks, 2 workers:",
+        f"  local farm (threads)      : {t_local * 1e3:8.1f} ms",
+        f"  distributed farm (sockets): {t_dist * 1e3:8.1f} ms",
+        f"  distribution overhead     : {(t_dist / t_local - 1):+.0%}"
+        "  (paper measured 6-7% at scale; small task counts amortize",
+        "   worker shipping poorly, so this figure is an upper bound)",
+        "  NOTE: single-CPU host - overhead only; speedup needs multicore.",
+    ])

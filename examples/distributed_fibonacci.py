@@ -1,0 +1,98 @@
+"""Fibonacci partitioned across compute servers (Figures 14–15).
+
+Run:  python examples/distributed_fibonacci.py
+
+Stage 1 (Figure 14): the graph is built entirely on "server A" (this
+process), then the composite containing the sink is shipped to server B.
+The channel crossing the cut re-plumbs itself during serialization — a
+listener opens here, the deserialized end dials back — with no socket
+code in this file.
+
+Stage 2 (Figure 15): a three-way partition.  The sink composite goes to
+server B first; then the composite feeding it goes to server C.  The
+link that used to run A→B hands itself over so that C connects to B
+*directly*; A drops out of that path entirely (decentralized
+communication, no relay through the origin).
+
+Servers here are in-process (mode="thread") so the example is
+self-contained; swap mode="process" for separate OS processes.
+"""
+
+import time
+
+from repro.kpn import CompositeProcess, Network
+from repro.processes import (Add, Collect, Cons, Constant, Duplicate, Scale,
+                             Sequence)
+from repro.distributed import LocalCluster
+from repro.semantics import fibonacci_reference
+
+
+def figure_14(cluster: LocalCluster) -> None:
+    print("== Figure 14: two-server partition ==")
+    net = Network(name="A")
+    ab, be, cd, df, ed, eg, fg, fh, gb = net.channels_n(9, prefix="fib")
+
+    # local composite: the arithmetic cycle (stays on server A)
+    local = CompositeProcess(name="fib-core")
+    local.add(Constant(1, ab.get_output_stream(), iterations=1))
+    local.add(Cons(ab.get_input_stream(), gb.get_input_stream(),
+                   be.get_output_stream()))
+    local.add(Duplicate(be.get_input_stream(),
+                        [ed.get_output_stream(), eg.get_output_stream()]))
+    local.add(Add(eg.get_input_stream(), fg.get_input_stream(),
+                  gb.get_output_stream()))
+    local.add(Constant(1, cd.get_output_stream(), iterations=1))
+    local.add(Cons(cd.get_input_stream(), ed.get_input_stream(),
+                   df.get_output_stream()))
+    local.add(Duplicate(df.get_input_stream(),
+                        [fh.get_output_stream(), fg.get_output_stream()]))
+
+    # remote composite: the sink — but we want the numbers back, so the
+    # sink scales by 1 (identity) and a local Collect reads the echo.
+    echo = net.channel(name="fib-echo")
+    remote = Scale(fh.get_input_stream(), echo.get_output_stream(), 1,
+                   name="remote-sink")
+    out: list[int] = []
+    collector = Collect(echo.get_input_stream(), out, iterations=20)
+
+    cluster.client(0).run(remote)   # ship → connections self-assemble
+    time.sleep(0.2)
+    net.add(local)
+    net.add(collector)
+    net.run(timeout=60)
+    print("fibonacci via server B:", out)
+    assert out == fibonacci_reference(20)
+
+
+def figure_15(cluster: LocalCluster) -> None:
+    print("== Figure 15: three-server partition, direct B<->C link ==")
+    net = Network(name="A")
+    src = net.channel(name="p15-src")
+    mid = net.channel(name="p15-mid")
+    back = net.channel(name="p15-back")
+
+    producer = Sequence(src.get_output_stream(), start=1, iterations=12,
+                        name="producer")
+    doubler = Scale(src.get_input_stream(), mid.get_output_stream(), 2,
+                    name="doubler")
+    echo = Scale(mid.get_input_stream(), back.get_output_stream(), 1,
+                 name="echo")
+    out: list[int] = []
+
+    cluster.client(0).run(echo)       # consumer side → server B
+    time.sleep(0.2)
+    cluster.client(1).run(doubler)    # producer side → server C; the old
+    time.sleep(0.2)                   # A->B link redirects: C dials B.
+    net.add(producer)
+    net.add(Collect(back.get_input_stream(), out, iterations=12))
+    net.run(timeout=60)
+    print("doubled via B and C:", out)
+    assert out == [2 * k for k in range(1, 13)]
+
+
+if __name__ == "__main__":
+    with LocalCluster(2, mode="thread") as cluster:
+        print("servers:", cluster.ping_all())
+        figure_14(cluster)
+        figure_15(cluster)
+    print("distributed fibonacci OK")

@@ -1,0 +1,54 @@
+"""Mandelbrot rows on a task farm: non-uniform task costs in the wild.
+
+Run:  python examples/mandelbrot_farm.py
+
+Mandelbrot rows are the textbook non-uniform workload — rows crossing
+the set cost many times more than rows that escape instantly — i.e. the
+"amount of work required by each task may not be uniform" case of the
+paper's section 5.  The example renders a small escape-time image under
+static and dynamic balancing, verifies both produce the identical image
+(determinacy), and prints per-worker task counts plus an ASCII rendering.
+"""
+
+import time
+
+import numpy as np
+
+from repro.parallel import build_farm
+from repro.parallel.workloads import MandelbrotProducerTask, assemble_mandelbrot
+
+WIDTH, HEIGHT, MAX_ITER = 72, 28, 120
+SHADES = " .:-=+*#%@"
+
+
+def render(image: np.ndarray) -> str:
+    rows = []
+    for r in range(image.shape[0]):
+        rows.append("".join(
+            SHADES[min(int(v * (len(SHADES) - 1) / MAX_ITER),
+                       len(SHADES) - 1)]
+            for v in image[r]))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    images = {}
+    for mode in ("static", "dynamic"):
+        handle = build_farm(MandelbrotProducerTask(WIDTH, HEIGHT, MAX_ITER),
+                            n_workers=4, mode=mode)
+        t0 = time.perf_counter()
+        results = handle.run(timeout=300)
+        elapsed = time.perf_counter() - t0
+        counts = [w.tasks_processed for w in handle.harness.workers]
+        images[mode] = assemble_mandelbrot(results, WIDTH, HEIGHT)
+        print(f"{mode:>8}: {elapsed * 1e3:7.1f} ms, rows/worker = {counts}")
+
+    assert np.array_equal(images["static"], images["dynamic"]), \
+        "determinacy violated!"
+    print("\nidentical images from both modes ✓\n")
+    print(render(images["dynamic"]))
+
+
+if __name__ == "__main__":
+    main()
+    print("\nmandelbrot farm OK")

@@ -1,0 +1,27 @@
+"""Newton's-method square root with data-dependent termination (Figure 11).
+
+Run:  python examples/newton_sqrt.py
+
+The whole iteration r_n = (x/r_{n-1} + r_{n-1})/2 lives inside the
+network; no process counts iterations.  The Equal process notices when
+"the limits of precision of the floating-point representation have been
+reached and the root estimate stops changing", the Guard passes exactly
+one value and stops, and the termination cascade shuts the network down.
+"""
+
+import math
+
+from repro.processes import newton_sqrt
+
+
+def main() -> None:
+    for x in (2.0, 10.0, 12345.678, 0.25):
+        result = newton_sqrt(x).run(timeout=30)
+        err = abs(result[0] - math.sqrt(x))
+        print(f"sqrt({x}) = {result[0]!r}   |err| = {err:.3e}")
+        assert len(result) == 1 and err < 1e-9
+
+
+if __name__ == "__main__":
+    main()
+    print("newton sqrt OK")

@@ -1,0 +1,46 @@
+"""The self-reconfiguring Sieve of Eratosthenes (Figures 7–8).
+
+Run:  python examples/primes_sieve.py
+
+Demonstrates the paper's two reconfiguration styles and two termination
+modes (section 3.4):
+
+* iterative Sift (Figure 8): inserts a Modulo filter ahead of itself for
+  every prime;
+* recursive Sift (Figure 7): replaces itself with Modulo + new Sift;
+* "first k primes" — iteration limit on the sink; termination cascades
+  *upstream* through broken channels;
+* "all primes below m" — iteration limit on the source; the pipeline
+  drains completely before shutting down.
+"""
+
+from repro.processes import primes
+from repro.semantics import primes_reference
+
+
+def first_k(k: int = 25) -> None:
+    print(f"== first {k} primes (iterative Sift, sink-limited) ==")
+    out = primes(count=k).run(timeout=60)
+    print(out)
+    assert out == primes_reference(count=k)
+
+
+def below_m(m: int = 100) -> None:
+    print(f"== all primes below {m} (iterative Sift, source-limited) ==")
+    out = primes(below=m).run(timeout=60)
+    print(out)
+    assert out == primes_reference(below=m)
+
+
+def recursive(k: int = 15) -> None:
+    print(f"== first {k} primes (recursive Sift: self-replacement) ==")
+    out = primes(count=k, recursive=True).run(timeout=60)
+    print(out)
+    assert out == primes_reference(count=k)
+
+
+if __name__ == "__main__":
+    first_k()
+    below_m()
+    recursive()
+    print("primes sieve OK")

@@ -1,0 +1,51 @@
+"""Quickstart: the Figure-1 pipeline — Producer → Worker → Consumer.
+
+Run:  python examples/quickstart.py
+
+Builds the simplest possible process network twice:
+
+1. by hand, from channels and library processes (squaring a stream of
+   integers), showing the low-level API;
+2. with the task-farm API (`run_farm`), the one-liner most applications
+   want.
+"""
+
+from repro.kpn import Network
+from repro.processes import Collect, MapProcess, Sequence
+from repro.parallel import RangeProducerTask, CallableTask, run_farm
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def manual_pipeline() -> None:
+    print("== manual pipeline (channels + processes) ==")
+    net = Network(name="quickstart")
+    raw = net.channel(name="raw")
+    squared = net.channel(name="squared")
+    out: list[int] = []
+
+    net.add(Sequence(raw.get_output_stream(), start=1, iterations=10,
+                     name="Producer"))
+    net.add(MapProcess(raw.get_input_stream(), squared.get_output_stream(),
+                       square, name="Worker"))
+    net.add(Collect(squared.get_input_stream(), out, name="Consumer"))
+
+    net.run(timeout=30)
+    print("squares:", out)
+    assert out == [k * k for k in range(1, 11)]
+
+
+def farm_pipeline() -> None:
+    print("== task farm (generic Producer/Worker/Consumer over Tasks) ==")
+    producer = RangeProducerTask(10, lambda i: CallableTask(square, i + 1))
+    results = run_farm(producer, n_workers=3, mode="dynamic", timeout=30)
+    print("squares:", results)
+    assert results == [k * k for k in range(1, 11)]
+
+
+if __name__ == "__main__":
+    manual_pipeline()
+    farm_pipeline()
+    print("quickstart OK")

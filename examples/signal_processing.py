@@ -1,0 +1,71 @@
+"""Streaming signal processing on a process network.
+
+Run:  python examples/signal_processing.py
+
+The paper's opening motivation: "Because process networks expose
+parallelism and make communication explicit, they are well suited to a
+variety of signal processing and scientific computation applications."
+This example builds a small DSP chain —
+
+    noisy sine → FIR low-pass (moving average) → 4x decimator → RMS meter
+
+— as a Kahn network, runs it, and then *proves* the run with the network
+compiler: the denotational least fixed point of the derived stream
+equations must equal the operationally collected samples, element for
+element.
+"""
+
+import math
+
+from repro.kpn import Network
+from repro.processes import (Accumulate, Collect, Downsample, FromIterable,
+                             MapProcess, MovingAverage)
+from repro.semantics.compile import compile_network
+
+
+def noisy_sine(n: int, period: int = 32, noise: float = 0.25) -> list[float]:
+    return [math.sin(2 * math.pi * k / period)
+            + (noise if k % 2 else -noise) for k in range(n)]
+
+
+def square(x: float) -> float:
+    return x * x
+
+
+def main() -> None:
+    samples = noisy_sine(256)
+    net = Network(name="dsp-chain")
+    raw, smooth, slow, squared, energy = net.channels_n(5, prefix="sig")
+    out: list[float] = []
+
+    net.add(FromIterable(raw.get_output_stream(), samples, codec="double",
+                         name="adc"))
+    net.add(MovingAverage(raw.get_input_stream(), smooth.get_output_stream(),
+                          4, name="lowpass"))
+    net.add(Downsample(smooth.get_input_stream(), slow.get_output_stream(),
+                       4, name="decimate"))
+    net.add(MapProcess(slow.get_input_stream(), squared.get_output_stream(),
+                       square, codec="double", name="square"))
+    net.add(Accumulate(squared.get_input_stream(), energy.get_output_stream(),
+                       name="energy"))
+    net.add(Collect(energy.get_input_stream(), out, codec="double",
+                    name="meter"))
+
+    # denotational prediction first…
+    compiled = compile_network(net, max_len=512)
+    predicted = compiled.predict("sig-4")
+    # …then the actual run
+    net.run(timeout=60)
+    assert list(predicted) == out, "runtime diverged from the fixed point!"
+
+    rms = math.sqrt(out[-1] / len(out))
+    print(f"{len(samples)} noisy samples -> {len(out)} filtered+decimated")
+    print(f"running energy (last 5): {[round(v, 3) for v in out[-5:]]}")
+    print(f"RMS of filtered signal: {rms:.4f} "
+          f"(clean sine RMS = {1 / math.sqrt(2):.4f})")
+    print("operational history == denotational least fixed point ✓")
+
+
+if __name__ == "__main__":
+    main()
+    print("signal processing OK")

@@ -1,0 +1,86 @@
+"""Regenerate the paper's evaluation on the simulated 34-CPU lab.
+
+Run:  python examples/simulated_cluster.py
+
+Prints Table 1, Table 2, and ASCII renderings of Figures 19 (elapsed
+time) and 20 (speedup) with the paper's published numbers alongside the
+simulator's.  The benchmarks regenerate the same artifacts under
+pytest-benchmark; this example is the human-readable tour.
+"""
+
+from repro.simcluster import (TABLE2, ideal_speed, sequential_times,
+                              sweep_workers, table2_rows)
+
+
+def print_table1() -> None:
+    print("=== Table 1: sequential execution (minutes) ===")
+    print(f"{'class':>5} {'speed':>6} {'model':>7} {'paper':>7}  description")
+    for row in sequential_times():
+        print(f"{row['class']:>5} {row['speed']:>6.2f} {row['time_model']:>7.2f} "
+              f"{row['time_paper']:>7.2f}  {row['description']}")
+
+
+def print_table2() -> None:
+    print("\n=== Table 2: parallel execution (minutes / normalized speed) ===")
+    paper = {r.workers: r for r in TABLE2}
+    hdr = (f"{'W':>3} | {'ideal t':>7} {'speed':>6} | "
+           f"{'static t':>8} {'paper':>6} | {'dynamic t':>9} {'paper':>6}")
+    print(hdr)
+    print("-" * len(hdr))
+    for row in table2_rows():
+        p = paper[row.workers]
+        print(f"{row.workers:>3} | {row.ideal_time:>7.2f} {row.ideal_speed:>6.2f} | "
+              f"{row.static_time:>8.2f} {p.static_time:>6.2f} | "
+              f"{row.dynamic_time:>9.2f} {p.dynamic_time:>6.2f}")
+
+
+def ascii_curve(title: str, series: dict[str, list[float]], xs: list[int],
+                height: int = 14) -> None:
+    """Minimal ASCII chart: one glyph per series."""
+    print(f"\n=== {title} ===")
+    glyphs = {"ideal": ".", "static": "D", "dynamic": "^"}
+    all_vals = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for name, values in series.items():
+        for i, v in enumerate(values):
+            r = height - 1 - int((v - lo) / span * (height - 1))
+            grid[r][i] = glyphs[name]
+    for r, line in enumerate(grid):
+        level = hi - (r / (height - 1)) * span
+        print(f"{level:7.2f} |" + " ".join(line))
+    print(" " * 8 + "+" + "--" * len(xs))
+    print(" " * 9 + " ".join(f"{x:<1}" if x < 10 else "*" for x in xs)
+          + "   (workers 1..32; * = multiples of 10)")
+    print("legend: . ideal   D static   ^ dynamic")
+
+
+def figures() -> None:
+    xs = list(range(1, 33))
+    rows = sweep_workers(xs)
+    ascii_curve("Figure 19: elapsed time (minutes) vs workers", {
+        "ideal": [r.ideal_time for r in rows],
+        "static": [r.static_time for r in rows],
+        "dynamic": [r.dynamic_time for r in rows],
+    }, xs)
+    ascii_curve("Figure 20: speedup (normalized speed) vs workers", {
+        "ideal": [r.ideal_speed for r in rows],
+        "static": [r.static_speed for r in rows],
+        "dynamic": [r.dynamic_speed for r in rows],
+    }, xs)
+    # the two inflection points the paper calls out
+    s = [ideal_speed(w) for w in xs]
+    d1 = s[7] - s[6]   # adding worker 8 (first class C)
+    d0 = s[6] - s[5]
+    d2 = s[26] - s[25]  # adding worker 27 (first class E)
+    print(f"\nideal-speed increments: worker 7->8 adds {d1:.2f} "
+          f"(vs {d0:.2f} before) — first class-C CPU;")
+    print(f"                        worker 26->27 adds {d2:.2f} — first class-E CPU.")
+
+
+if __name__ == "__main__":
+    print_table1()
+    print_table2()
+    figures()
+    print("\nsimulated cluster OK")

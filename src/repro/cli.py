@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+An open-source release of this system needs operational entry points; the
+paper's deployment story ("the entire implementation can be contained in
+a single jar file ... making it easy to install on a new host") maps to:
+
+==============  ==============================================================
+command         what it does
+==============  ==============================================================
+server          start a compute server (wraps repro.distributed.server)
+registry        start a name registry (wraps repro.distributed.registry)
+ping            ping a server (host:port or registry name)
+experiment      regenerate table1 / table2 / fig19 / fig20 on the simulator
+example         run one of the bundled examples by name
+check           build a figure network and run the consistency checker
+version         print the library version
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = ("table1", "table2", "fig19", "fig20", "report")
+EXAMPLES = ("quickstart", "fibonacci", "primes_sieve", "newton_sqrt",
+            "hamming", "distributed_fibonacci", "parallel_factorization",
+            "image_compression", "simulated_cluster", "signal_processing",
+            "tracing_and_graphs", "mandelbrot_farm", "cluster_operations",
+            "csp_comparison")
+CHECKABLE = ("fibonacci", "primes", "hamming", "newton", "fig13")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Kahn process networks "
+                    "(Parks/Roberts/Millman 2003 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_server = sub.add_parser("server", help="start a compute server")
+    p_server.add_argument("--port", type=int, default=0)
+    p_server.add_argument("--name", default="server")
+    p_server.add_argument("--registry", default=None, help="host:port")
+    p_server.add_argument("--advertise", default=None)
+
+    p_registry = sub.add_parser("registry", help="start a name registry")
+    p_registry.add_argument("--port", type=int, default=5000)
+
+    p_ping = sub.add_parser("ping", help="ping a compute server")
+    p_ping.add_argument("target", help="host:port")
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    p_exp.add_argument("which", choices=EXPERIMENTS)
+
+    p_ex = sub.add_parser("example", help="run a bundled example")
+    p_ex.add_argument("which", choices=EXAMPLES + ("list",))
+
+    p_check = sub.add_parser("check",
+                             help="consistency-check a figure network")
+    p_check.add_argument("which", choices=CHECKABLE)
+
+    sub.add_parser("version", help="print the version")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_server(args) -> int:
+    from repro.distributed.server import main as server_main
+
+    argv = ["--port", str(args.port), "--name", args.name]
+    if args.registry:
+        argv += ["--registry", args.registry]
+    if args.advertise:
+        argv += ["--advertise", args.advertise]
+    server_main(argv)
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from repro.distributed.registry import main as registry_main
+
+    registry_main(["--port", str(args.port)])
+    return 0
+
+
+def _cmd_ping(args) -> int:
+    from repro.distributed.server import ServerClient
+
+    host, _, port = args.target.partition(":")
+    client = ServerClient(host, int(port))
+    print(client.ping())
+    client.close()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.simcluster import (ideal_speed, sequential_times,
+                                  sweep_workers, table2_rows)
+    from repro.simcluster.paperdata import table2_by_workers
+
+    if args.which == "report":
+        from repro.simcluster.report import generate_report
+
+        print(generate_report())
+        return 0
+    if args.which == "table1":
+        print("Table 1: sequential execution (minutes)")
+        print(f"{'class':>5} {'speed':>6} {'model':>7} {'paper':>7}")
+        for r in sequential_times():
+            print(f"{r['class']:>5} {r['speed']:>6.2f} "
+                  f"{r['time_model']:>7.2f} {r['time_paper']:>7.2f}")
+    elif args.which == "table2":
+        paper = table2_by_workers()
+        print("Table 2: parallel execution (minutes)")
+        print(f"{'W':>3} {'ideal':>7} {'stat-mdl':>9} {'stat-ppr':>9} "
+              f"{'dyn-mdl':>8} {'dyn-ppr':>8}")
+        for row in table2_rows():
+            p = paper[row.workers]
+            print(f"{row.workers:>3} {row.ideal_time:>7.2f} "
+                  f"{row.static_time:>9.2f} {p.static_time:>9.2f} "
+                  f"{row.dynamic_time:>8.2f} {p.dynamic_time:>8.2f}")
+    else:
+        rows = sweep_workers(range(1, 33))
+        if args.which == "fig19":
+            print("Figure 19: elapsed time (minutes) vs workers")
+            print(f"{'W':>3} {'ideal':>8} {'static':>8} {'dynamic':>8}")
+            for r in rows:
+                print(f"{r.workers:>3} {r.ideal_time:>8.2f} "
+                      f"{r.static_time:>8.2f} {r.dynamic_time:>8.2f}")
+        else:
+            print("Figure 20: speedup vs workers")
+            print(f"{'W':>3} {'ideal':>8} {'static':>8} {'dynamic':>8}")
+            for r in rows:
+                print(f"{r.workers:>3} {r.ideal_speed:>8.2f} "
+                      f"{r.static_speed:>8.2f} {r.dynamic_speed:>8.2f}")
+    return 0
+
+
+def _cmd_example(args) -> int:
+    if args.which == "list":
+        for name in EXAMPLES:
+            print(name)
+        return 0
+    import os
+    import runpy
+
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "examples",
+        f"{args.which}.py")
+    if not os.path.exists(path):
+        print(f"example source not found at {path}", file=sys.stderr)
+        return 1
+    runpy.run_path(path, run_name="__main__")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.kpn.checker import check_network
+    from repro.processes import (fibonacci, hamming, modulo_merge,
+                                 newton_sqrt, primes)
+
+    builders = {
+        "fibonacci": lambda: fibonacci(10),
+        "primes": lambda: primes(count=10),
+        "hamming": lambda: hamming(10),
+        "newton": lambda: newton_sqrt(2.0),
+        "fig13": lambda: modulo_merge(50, 10),
+    }
+    built = builders[args.which]()
+    issues = check_network(built.network)
+    if not issues:
+        print("no findings: graph is clean")
+    for issue in issues:
+        print(issue)
+    return 1 if any(i.severity == "error" for i in issues) else 0
+
+
+def _cmd_version(args) -> int:
+    import repro
+
+    print(repro.__version__)
+    return 0
+
+
+_HANDLERS = {
+    "server": _cmd_server,
+    "registry": _cmd_registry,
+    "ping": _cmd_ping,
+    "experiment": _cmd_experiment,
+    "example": _cmd_example,
+    "check": _cmd_check,
+    "version": _cmd_version,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""A minimal CSP runtime for the paper's planned comparison (§6.2).
+
+Rendezvous channels (:class:`~repro.csp.channel.SyncChannel`), guarded
+choice (:class:`~repro.csp.channel.Alternation`), threaded processes with
+poison-propagation termination (:mod:`~repro.csp.process`), and the
+factorization farm rebuilt on them (:func:`~repro.csp.farm.csp_farm`) so
+the KPN and CSP styles can be benchmarked against each other on identical
+Task objects.
+"""
+
+from repro.csp.channel import Alternation, PoisonError, SyncChannel
+from repro.csp.farm import csp_farm
+from repro.csp.process import CSPProcess, InlineCSP, ParallelCSP
+
+__all__ = ["Alternation", "PoisonError", "SyncChannel", "csp_farm",
+           "CSPProcess", "InlineCSP", "ParallelCSP"]

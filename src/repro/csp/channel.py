@@ -1,0 +1,171 @@
+"""Synchronous (rendezvous) channels — the CSP communication primitive.
+
+The paper closes by planning a factorization shoot-out "using both our
+implementation of process networks and a Java implementation of CSP"
+(section 6.2).  This package supplies the CSP side of that comparison:
+where Kahn channels are buffered FIFOs with blocking reads, CSP channels
+are **unbuffered rendezvous points** — a write completes only when a read
+takes the value, synchronizing the two processes.
+
+:class:`SyncChannel` implements one-to-one rendezvous with JCSP-style
+*poisoning* for termination: poisoning a channel makes every current and
+future operation on it raise :class:`PoisonError`, which CSP processes
+treat the way KPN processes treat channel EOF — propagate and stop.
+
+:class:`Alternation` is CSP's guarded choice (ALT): wait until any of
+several channels has a committed writer, then pick one (fair rotation).
+ALT is the expressiveness CSP buys with its non-determinism — and exactly
+what Kahn forbids to keep networks determinate; the Turnstile of the
+paper's Figure 18 is the KPN-side cousin, quarantined inside a
+well-behaved composite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["SyncChannel", "PoisonError", "Alternation"]
+
+
+class PoisonError(Exception):
+    """The channel was poisoned: the CSP termination signal."""
+
+
+_EMPTY = object()
+
+
+class SyncChannel:
+    """One-to-one synchronous channel.
+
+    ``write`` blocks until a reader takes the value; ``read`` blocks until
+    a writer offers one.  The rendezvous is a total synchronization: both
+    sides proceed together, so there is never buffered data to manage —
+    the opposite end of the design space from the paper's growable FIFOs.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._slot_filled = threading.Condition(self._lock)
+        self._slot_taken = threading.Condition(self._lock)
+        self._slot: Any = _EMPTY
+        self._poisoned = False
+        #: ALT wakeup hooks (called under the lock; must be lock-free)
+        self._alt_listeners: List = []
+        #: a writer is committed (value deposited, awaiting a reader)
+        self._writer_waiting = False
+        self.transfers = 0
+
+    # -- data plane ---------------------------------------------------------
+    def write(self, value: Any) -> None:
+        with self._lock:
+            if self._poisoned:
+                raise PoisonError(self.name)
+            while self._slot is not _EMPTY:
+                self._slot_taken.wait()
+                if self._poisoned:
+                    raise PoisonError(self.name)
+            self._slot = value
+            self._writer_waiting = True
+            self._slot_filled.notify()
+            for listener in self._alt_listeners:
+                listener()
+            # rendezvous: wait for the reader to take it
+            while self._slot is not _EMPTY:
+                self._slot_taken.wait()
+                if self._poisoned and self._slot is not _EMPTY:
+                    raise PoisonError(self.name)
+            self._writer_waiting = False
+
+    def read(self) -> Any:
+        with self._lock:
+            while True:
+                if self._slot is not _EMPTY:
+                    value = self._slot
+                    self._slot = _EMPTY
+                    self._writer_waiting = False
+                    self.transfers += 1
+                    self._slot_taken.notify_all()
+                    return value
+                if self._poisoned:
+                    raise PoisonError(self.name)
+                self._slot_filled.wait()
+
+    # -- control plane --------------------------------------------------------
+    def poison(self) -> None:
+        """Terminally poison the channel (idempotent)."""
+        with self._lock:
+            self._poisoned = True
+            self._slot_filled.notify_all()
+            self._slot_taken.notify_all()
+            for listener in self._alt_listeners:
+                listener()
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    # -- ALT support -----------------------------------------------------------
+    def pending(self) -> bool:
+        """A committed writer is waiting (an ALT guard would fire)."""
+        with self._lock:
+            return self._slot is not _EMPTY or self._poisoned
+
+    def _add_alt_listener(self, listener) -> None:
+        with self._lock:
+            self._alt_listeners.append(listener)
+
+    def _remove_alt_listener(self, listener) -> None:
+        with self._lock:
+            try:
+                self._alt_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SyncChannel {self.name!r}>"
+
+
+class Alternation:
+    """Guarded choice over several input channels (JCSP's ALT).
+
+    ``select()`` blocks until at least one channel has a committed writer
+    and returns that channel's index; the caller then reads from it.
+    Fair: the search origin rotates, so a chatty channel cannot starve
+    the others.  A poisoned channel counts as ready — its read raises
+    :class:`PoisonError`, letting termination flow through ALT loops.
+    """
+
+    def __init__(self, channels: Sequence[SyncChannel]) -> None:
+        if not channels:
+            raise ValueError("Alternation needs at least one channel")
+        self.channels = list(channels)
+        self._event = threading.Event()
+        self._next_start = 0
+        for ch in self.channels:
+            ch._add_alt_listener(self._event.set)
+
+    def select(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Index of a ready channel, or None on timeout."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            n = len(self.channels)
+            for offset in range(n):
+                i = (self._next_start + offset) % n
+                if self.channels[i].pending():
+                    self._next_start = (i + 1) % n
+                    return i
+            self._event.clear()
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+            self._event.wait(remaining if remaining is not None else 0.1)
+
+    def close(self) -> None:
+        for ch in self.channels:
+            ch._remove_alt_listener(self._event.set)

@@ -1,0 +1,149 @@
+"""Cluster convenience layer: spin up servers, partition graphs, run.
+
+The paper's deployment story — "a collection of servers at our disposal
+... part of a local cluster, or ... dispersed across the Internet" —
+reduced to two ergonomic entry points:
+
+* :class:`LocalCluster` — a registry plus N compute servers, either
+  in-process (``mode="thread"``: fast, used by the test suite) or as
+  separate OS processes (``mode="process"``: true parallelism, since each
+  server owns its own interpreter and GIL).
+* :func:`run_partitioned` — the Figure 14/15 workflow: build composites
+  on the client, ship each to a server (channel links self-assemble
+  during serialization), run the local remainder, wait for completion.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import RemoteError
+from repro.kpn.network import Network
+from repro.kpn.process import Process
+from repro.distributed.registry import RegistryClient, RegistryServer
+from repro.distributed.server import ComputeServer, ServerClient
+
+__all__ = ["LocalCluster", "run_partitioned"]
+
+
+class LocalCluster:
+    """A registry and N compute servers on this machine.
+
+    ``mode="thread"`` hosts everything in this interpreter — ideal for
+    tests and for exercising the full network protocol without process
+    startup cost.  ``mode="process"`` launches each server with
+    ``python -m repro.distributed.server`` so workers truly run in
+    parallel (separate GILs), which is what the real-execution benchmark
+    uses.
+    """
+
+    def __init__(self, n_servers: int = 2, mode: str = "thread",
+                 name_prefix: str = "server") -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        self.mode = mode
+        self.n_servers = n_servers
+        self.name_prefix = name_prefix
+        self.registry_server: Optional[RegistryServer] = None
+        self.registry: Optional[RegistryClient] = None
+        self._servers: List[ComputeServer] = []
+        self._procs: List[subprocess.Popen] = []
+        self.clients: List[ServerClient] = []
+        self.names: List[str] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        self.registry_server = RegistryServer().start()
+        self.registry = RegistryClient("127.0.0.1", self.registry_server.port)
+        for i in range(self.n_servers):
+            name = f"{self.name_prefix}-{i}"
+            self.names.append(name)
+            if self.mode == "thread":
+                server = ComputeServer(
+                    name=name,
+                    registry=("127.0.0.1", self.registry_server.port)).start()
+                self._servers.append(server)
+                self.clients.append(ServerClient("127.0.0.1", server.port))
+            else:
+                self._spawn_process_server(name)
+        return self
+
+    def _spawn_process_server(self, name: str) -> None:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.distributed.server",
+             "--name", name, "--port", "0",
+             "--registry", f"127.0.0.1:{self.registry_server.port}"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        self._procs.append(proc)
+        # the server announces "SERVER <name> LISTENING <port>" on stdout
+        line = proc.stdout.readline()
+        parts = line.split()
+        if len(parts) < 4 or parts[0] != "SERVER":
+            raise RemoteError(f"server {name} failed to start: {line!r}")
+        port = int(parts[3])
+        self.clients.append(ServerClient("127.0.0.1", port))
+
+    def stop(self) -> None:
+        for client in self.clients:
+            try:
+                client.shutdown()
+                client.close()
+            except Exception:
+                pass
+        for server in self._servers:
+            server.stop()
+        for proc in self._procs:
+            try:
+                proc.terminate()
+                proc.wait(timeout=5)
+            except Exception:
+                proc.kill()
+        if self.registry_server is not None:
+            self.registry_server.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- helpers ---------------------------------------------------------------
+    def client(self, i: int) -> ServerClient:
+        return self.clients[i]
+
+    def ping_all(self) -> List[str]:
+        return [c.ping() for c in self.clients]
+
+    def stats(self) -> Dict[str, dict]:
+        return {name: c.stats() for name, c in zip(self.names, self.clients)}
+
+
+def run_partitioned(local_part: Optional[Process],
+                    remote_parts: Sequence[Process],
+                    cluster: LocalCluster,
+                    network: Optional[Network] = None,
+                    timeout: Optional[float] = 120.0,
+                    settle: float = 0.05) -> Network:
+    """The Figure 14/15 workflow.
+
+    Build the whole graph on this machine, pass the composites to ship in
+    ``remote_parts`` (each goes to the corresponding cluster server), keep
+    ``local_part`` here, then start everything.  Channel connections
+    between servers are established automatically while the composites
+    serialize — the caller never touches a socket.
+
+    Ships remote parts *in order* before starting the local part, matching
+    the paper's staging; returns the local network after joining it.
+    """
+    net = network or Network(name="partitioned")
+    for i, part in enumerate(remote_parts):
+        cluster.client(i % len(cluster.clients)).run(part)
+        time.sleep(settle)  # let listeners/pumps of that hop establish
+    if local_part is not None:
+        net.add(local_part)
+    net.run(timeout=timeout)
+    return net

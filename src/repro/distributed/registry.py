@@ -1,0 +1,163 @@
+"""Name registry: the RMI-registry analogue (paper section 4.1).
+
+"Entries for each compute server in the RMI registry make it easy for
+client applications to locate remote compute servers."  This is a tiny
+TCP key→(host, port) store with the same role: servers register
+themselves on startup, clients look them up by name.
+
+Run in-process (tests, single-machine clusters)::
+
+    reg = RegistryServer().start()
+    client = RegistryClient("127.0.0.1", reg.port)
+    client.register("alpha", "127.0.0.1", 9001)
+    assert client.lookup("alpha") == ("127.0.0.1", 9001)
+
+or standalone: ``python -m repro.distributed.registry --port 5000``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RegistryError
+from repro.distributed.wire import open_listener, recv_obj, send_obj
+
+__all__ = ["RegistryServer", "RegistryClient"]
+
+
+class RegistryServer:
+    """Threaded TCP registry server."""
+
+    def __init__(self, port: int = 0) -> None:
+        self._listener = open_listener(port)
+        self.port = self._listener.getsockname()[1]
+        self._entries: Dict[str, Tuple[str, int]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, name="registry",
+                                        daemon=True)
+
+    def start(self) -> "RegistryServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # -- server loop -------------------------------------------------------
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(sock,),
+                             name="registry-conn", daemon=True).start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        with sock:
+            while True:
+                try:
+                    request = recv_obj(sock)
+                except Exception:
+                    return
+                try:
+                    reply = self._dispatch(request)
+                except Exception as exc:  # noqa: BLE001
+                    reply = {"ok": False, "error": str(exc)}
+                try:
+                    send_obj(sock, reply)
+                except OSError:
+                    return
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        with self._lock:
+            if op == "register":
+                self._entries[request["name"]] = (request["host"], request["port"])
+                return {"ok": True}
+            if op == "unregister":
+                self._entries.pop(request["name"], None)
+                return {"ok": True}
+            if op == "lookup":
+                entry = self._entries.get(request["name"])
+                if entry is None:
+                    return {"ok": False, "error": f"unknown name {request['name']!r}"}
+                return {"ok": True, "host": entry[0], "port": entry[1]}
+            if op == "list":
+                return {"ok": True, "names": sorted(self._entries)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- in-process convenience -----------------------------------------------
+    def entries(self) -> Dict[str, Tuple[str, int]]:
+        with self._lock:
+            return dict(self._entries)
+
+
+class RegistryClient:
+    """Client for :class:`RegistryServer`; one connection, thread-safe."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    def _request(self, payload: dict) -> dict:
+        with self._lock:
+            try:
+                if self._sock is None:
+                    from repro.distributed.wire import connect_with_retry
+
+                    self._sock = connect_with_retry(self.host, self.port,
+                                                    attempts=5)
+                send_obj(self._sock, payload)
+                reply = recv_obj(self._sock)
+            except OSError as exc:
+                self._sock = None
+                raise RegistryError(f"registry unreachable: {exc}") from exc
+        if not reply.get("ok"):
+            raise RegistryError(reply.get("error", "registry error"))
+        return reply
+
+    def register(self, name: str, host: str, port: int) -> None:
+        self._request({"op": "register", "name": name, "host": host, "port": port})
+
+    def unregister(self, name: str) -> None:
+        self._request({"op": "unregister", "name": name})
+
+    def lookup(self, name: str) -> Tuple[str, int]:
+        reply = self._request({"op": "lookup", "name": name})
+        return reply["host"], reply["port"]
+
+    def list(self) -> List[str]:
+        return self._request({"op": "list"})["names"]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    parser = argparse.ArgumentParser(description="repro name registry")
+    parser.add_argument("--port", type=int, default=5000)
+    args = parser.parse_args(argv)
+    server = RegistryServer(args.port).start()
+    print(f"REGISTRY LISTENING {server.port}", flush=True)
+    threading.Event().wait()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

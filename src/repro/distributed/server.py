@@ -1,0 +1,274 @@
+"""Generic compute server (paper section 4.1).
+
+"To support distributed computing, we have implemented a generic compute
+server that is accessible via Remote Method Invocation."  Ours is a small
+TCP server with the same two-method interface:
+
+* ``run(runnable)`` — ship a Process/Runnable, return immediately; the
+  server executes it in its own hosted network (one thread per process,
+  deadlock monitor and all).
+* ``call(task)`` — ship a Task, block until its ``run()`` result comes
+  back (exceptions return as :class:`~repro.errors.RemoteError` with the
+  remote traceback).
+
+Payloads travel through the source-shipping migration pickler, so channel
+endpoints become socket links automatically (section 4.2) and classes
+defined in the client's ``__main__`` work without pre-installing code on
+the servers (section 6.2).
+
+In-process (tests)::
+
+    server = ComputeServer(name="alpha").start()
+    client = ServerClient("127.0.0.1", server.port)
+    client.run(my_composite_process)
+
+Standalone (real parallelism across OS processes)::
+
+    python -m repro.distributed.server --name alpha --port 9001
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+import traceback
+from typing import Any, Callable, List, Optional
+
+from repro.errors import RemoteError
+from repro.kpn.network import Network
+from repro.kpn.process import Process
+from repro.distributed.codebase import SourceShippingPickler, dumps_shipped
+from repro.distributed.migration import loads_migration
+from repro.distributed.registry import RegistryClient
+from repro.distributed.wire import (advertised_host, connect_with_retry,
+                                    open_listener, recv_obj, send_obj)
+
+__all__ = ["ComputeServer", "ServerClient", "Runnable"]
+
+
+class Runnable:
+    """Anything with a no-argument ``run`` method (tasks and processes)."""
+
+    def run(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _shipping_pickler_factory(file):
+    return SourceShippingPickler(file)
+
+
+class ComputeServer:
+    """Hosts migrated processes and executes shipped tasks.
+
+    Parameters
+    ----------
+    port:
+        TCP port (0 = ephemeral).
+    name:
+        Server name, registered with the registry when one is given.
+    registry:
+        Optional ``(host, port)`` of a :class:`RegistryServer`.
+    """
+
+    def __init__(self, port: int = 0, name: str = "server",
+                 registry: Optional[tuple[str, int]] = None) -> None:
+        self.name = name
+        self._listener = open_listener(port)
+        self.port = self._listener.getsockname()[1]
+        #: network hosting every process migrated to this server
+        self.network = Network(name=f"{name}-net").ensure_running()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, name=f"{name}-accept",
+                                        daemon=True)
+        self._registry_client: Optional[RegistryClient] = None
+        if registry is not None:
+            self._registry_client = RegistryClient(*registry)
+        #: count of run/call requests served (stats)
+        self.tasks_run = 0
+        self.processes_hosted = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ComputeServer":
+        self._thread.start()
+        if self._registry_client is not None:
+            self._registry_client.register(self.name, advertised_host(), self.port)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._registry_client is not None:
+            try:
+                self._registry_client.unregister(self.name)
+            except Exception:
+                pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.network.shutdown()
+
+    # -- server loops ----------------------------------------------------------
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=self._handle, args=(sock,),
+                             name=f"{self.name}-conn", daemon=True).start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        with sock:
+            while not self._stop.is_set():
+                try:
+                    request = recv_obj(sock)
+                except Exception:
+                    return
+                reply = self._dispatch(request)
+                try:
+                    send_obj(sock, reply, pickler_factory=_shipping_pickler_factory)
+                except Exception:
+                    return
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "name": self.name}
+            if op == "run":
+                target = loads_migration(request["payload"], network=self.network)
+                self._run_async(target)
+                return {"ok": True}
+            if op == "call":
+                target = loads_migration(request["payload"], network=self.network)
+                self.tasks_run += 1
+                return {"ok": True, "result": target.run()}
+            if op == "wait_snapshot":
+                return {"ok": True, "snapshot": self.network.wait_snapshot()}
+            if op == "grow_channel":
+                grown = self.network.grow_channel(request["channel"],
+                                                  request["capacity"])
+                return {"ok": True, "grown": grown}
+            if op == "stats":
+                failures = [
+                    {"process": p.name, "error": repr(p.failure)}
+                    for p in self.network.processes if p.failure is not None
+                ]
+                return {"ok": True, "name": self.name,
+                        "tasks_run": self.tasks_run,
+                        "processes_hosted": self.processes_hosted,
+                        "live_threads": len(self.network.live_threads()),
+                        "channels": len(self.network.channels),
+                        "failures": failures}
+            if op == "shutdown":
+                threading.Thread(target=self.stop, daemon=True).start()
+                return {"ok": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc()}
+
+    def _run_async(self, target: Any) -> None:
+        self.processes_hosted += 1
+        if isinstance(target, Process):
+            self.network.spawn(target)
+        elif callable(getattr(target, "run", None)):
+            threading.Thread(target=target.run, name=f"{self.name}-runnable",
+                             daemon=True).start()
+        else:
+            raise TypeError(f"cannot run {type(target).__name__}: no run()")
+
+
+class ServerClient:
+    """Client stub for a :class:`ComputeServer` (the RMI stub analogue)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    @classmethod
+    def from_registry(cls, registry: RegistryClient, name: str) -> "ServerClient":
+        host, port = registry.lookup(name)
+        return cls(host, port)
+
+    def _request(self, payload: dict) -> dict:
+        with self._lock:
+            if self._sock is None:
+                self._sock = connect_with_retry(self.host, self.port)
+            send_obj(self._sock, payload,
+                     pickler_factory=_shipping_pickler_factory)
+            reply = recv_obj(self._sock)
+        if not reply.get("ok"):
+            raise RemoteError(reply.get("error", "remote failure"),
+                              reply.get("traceback", ""))
+        return reply
+
+    # -- the Server interface (section 4.1) ---------------------------------
+    def ping(self) -> str:
+        return self._request({"op": "ping"})["name"]
+
+    def run(self, target: Any) -> None:
+        """``void run(Runnable)``: ship and return immediately."""
+        self._request({"op": "run", "payload": dumps_shipped(target)})
+
+    def call(self, task: Any) -> Any:
+        """``Object run(Task)``: ship, execute, return the result."""
+        return self._request({"op": "call", "payload": dumps_shipped(task)})["result"]
+
+    def wait_snapshot(self) -> dict:
+        """Per-server blocking snapshot (distributed deadlock detection)."""
+        return self._request({"op": "wait_snapshot"})["snapshot"]
+
+    def grow_channel(self, channel: str, capacity: int) -> bool:
+        """Grow a channel buffer on the remote server by name."""
+        return self._request({"op": "grow_channel", "channel": channel,
+                              "capacity": capacity})["grown"]
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def shutdown(self) -> None:
+        try:
+            self._request({"op": "shutdown"})
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    parser = argparse.ArgumentParser(description="repro compute server")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--name", default="server")
+    parser.add_argument("--registry", default=None,
+                        help="host:port of a registry server")
+    parser.add_argument("--advertise", default=None,
+                        help="host other servers should dial back")
+    args = parser.parse_args(argv)
+    if args.advertise:
+        from repro.distributed.wire import set_advertised_host
+
+        set_advertised_host(args.advertise)
+    registry = None
+    if args.registry:
+        host, _, port = args.registry.partition(":")
+        registry = (host, int(port))
+    server = ComputeServer(port=args.port, name=args.name,
+                           registry=registry).start()
+    print(f"SERVER {args.name} LISTENING {server.port}", flush=True)
+    threading.Event().wait()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

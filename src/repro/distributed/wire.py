@@ -1,0 +1,155 @@
+"""Wire protocol: framed messages over TCP sockets.
+
+Two layers share the same framing:
+
+* **channel links** (:mod:`repro.distributed.sockets`) move channel bytes
+  between servers with ``DATA``/``EOF``/``SWITCH`` frames plus the
+  ``LISTEN_REQ``/``LISTEN_OK`` control handshake that implements the
+  paper's decentralized reconnection (section 4.3);
+* **compute-server RPC** (:mod:`repro.distributed.server`) sends pickled
+  request/response objects with ``OBJ`` frames.
+
+A frame is ``1-byte tag + 4-byte big-endian length + payload``.  Payload
+size is capped to catch stream corruption early.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+from repro.errors import ChannelError
+
+__all__ = [
+    "Tag", "send_frame", "recv_frame", "send_obj", "recv_obj",
+    "read_exact", "FrameError", "open_listener", "advertised_host",
+    "set_advertised_host", "connect_with_retry",
+]
+
+MAX_PAYLOAD = 256 * 1024 * 1024
+_HEADER = struct.Struct(">BI")
+
+
+class Tag:
+    """Frame type tags."""
+
+    HELLO = 1        #: connector introduces itself on a channel link
+    DATA = 2         #: channel payload bytes
+    EOF = 3          #: end of channel stream (producer stopped)
+    SWITCH = 4       #: producer moved; expect a replacement connection
+    LISTEN_REQ = 5   #: "my end is migrating: open/confirm a listener"
+    LISTEN_OK = 6    #: reply to LISTEN_REQ: payload = 2-byte port? (pickled int)
+    OBJ = 7          #: pickled RPC object (compute server protocol)
+    CLOSE_READ = 8   #: consumer closed its end: producer should break
+
+
+class FrameError(ChannelError):
+    """Malformed or oversized frame — the connection is unusable."""
+
+
+def read_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly n bytes or raise FrameError on premature close."""
+    parts = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FrameError(f"connection closed mid-frame ({remaining} of {n} "
+                             "bytes missing)")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def send_frame(sock: socket.socket, tag: int, payload: bytes = b"") -> None:
+    if len(payload) > MAX_PAYLOAD:
+        raise FrameError(f"payload of {len(payload)} bytes exceeds cap")
+    sock.sendall(_HEADER.pack(tag, len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    header = read_exact(sock, _HEADER.size)
+    tag, length = _HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise FrameError(f"incoming payload of {length} bytes exceeds cap")
+    payload = read_exact(sock, length) if length else b""
+    return tag, payload
+
+
+def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
+    """Send a pickled object as an OBJ frame.
+
+    ``pickler_factory(file) -> Pickler`` lets callers substitute the
+    migration or source-shipping picklers.
+    """
+    if pickler_factory is None:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        import io
+
+        buf = io.BytesIO()
+        pickler_factory(buf).dump(obj)
+        payload = buf.getvalue()
+    send_frame(sock, Tag.OBJ, payload)
+
+
+def recv_obj(sock: socket.socket, unpickler_factory=None) -> Any:
+    tag, payload = recv_frame(sock)
+    if tag != Tag.OBJ:
+        raise FrameError(f"expected OBJ frame, got tag {tag}")
+    if unpickler_factory is None:
+        return pickle.loads(payload)
+    import io
+
+    return unpickler_factory(io.BytesIO(payload)).load()
+
+
+# ---------------------------------------------------------------------------
+# endpoint helpers
+# ---------------------------------------------------------------------------
+
+_advertised_host = "127.0.0.1"
+
+
+def advertised_host() -> str:
+    """The host other servers should use to connect back to this one.
+
+    Defaults to loopback (right for single-machine clusters and the test
+    suite); multi-machine deployments call :func:`set_advertised_host`
+    with an externally routable address.
+    """
+    return _advertised_host
+
+
+def set_advertised_host(host: str) -> None:
+    global _advertised_host
+    _advertised_host = host
+
+
+def open_listener(port: int = 0, backlog: int = 16) -> socket.socket:
+    """A listening TCP socket on all interfaces; port 0 = ephemeral."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("0.0.0.0", port))
+    listener.listen(backlog)
+    return listener
+
+
+def connect_with_retry(host: str, port: int, attempts: int = 40,
+                       delay: float = 0.05,
+                       timeout: Optional[float] = None) -> socket.socket:
+    """Connect, retrying briefly — a peer's listener may still be starting."""
+    import time
+
+    last: Optional[Exception] = None
+    for _ in range(attempts):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise ChannelError(f"cannot connect to {host}:{port}: {last}")

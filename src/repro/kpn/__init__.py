@@ -1,0 +1,42 @@
+"""Kahn Process Network runtime core (paper section 3).
+
+Layering (bottom → top): :mod:`~repro.kpn.buffers` (bounded blocking byte
+pipes) → :mod:`~repro.kpn.streams` (the Figure-3 stream stack) →
+:mod:`~repro.kpn.channel` (producer/consumer endpoints, splicing) →
+:mod:`~repro.kpn.process` (threaded processes) → :mod:`~repro.kpn.network`
+(lifecycle + graph analysis) with :mod:`~repro.kpn.scheduler` providing
+Parks' bounded scheduling.  :mod:`~repro.kpn.data` and
+:mod:`~repro.kpn.objects` layer typed traffic over byte channels.
+"""
+
+from repro.kpn.checker import GraphConsistencyError, Issue, check_network
+from repro.kpn.history import HistoryCapture, decode_bytes, infer_codecs
+from repro.kpn.tracing import ChannelTrace, TraceReport, Tracer
+from repro.kpn.buffers import BlockAccounting, BoundedByteBuffer, DEFAULT_CAPACITY
+from repro.kpn.channel import (Channel, ChannelInputStream, ChannelOutputStream,
+                               wait_any_readable)
+from repro.kpn.data import DataInputStream, DataOutputStream
+from repro.kpn.network import Network
+from repro.kpn.objects import ObjectInputStream, ObjectOutputStream
+from repro.kpn.process import (CompositeProcess, IterativeProcess, Process,
+                               StopProcess)
+from repro.kpn.scheduler import DeadlockMonitor, DeadlockPolicy, GrowthEvent
+from repro.kpn.streams import (BlockingInputStream, InputStream, LocalInputStream,
+                               LocalOutputStream, OutputStream,
+                               SequenceInputStream, SequenceOutputStream)
+
+__all__ = [
+    "GraphConsistencyError", "Issue", "check_network",
+    "HistoryCapture", "decode_bytes", "infer_codecs",
+    "ChannelTrace", "TraceReport", "Tracer",
+    "BlockAccounting", "BoundedByteBuffer", "DEFAULT_CAPACITY",
+    "Channel", "ChannelInputStream", "ChannelOutputStream", "wait_any_readable",
+    "DataInputStream", "DataOutputStream",
+    "Network",
+    "ObjectInputStream", "ObjectOutputStream",
+    "CompositeProcess", "IterativeProcess", "Process", "StopProcess",
+    "DeadlockMonitor", "DeadlockPolicy", "GrowthEvent",
+    "BlockingInputStream", "InputStream", "LocalInputStream",
+    "LocalOutputStream", "OutputStream", "SequenceInputStream",
+    "SequenceOutputStream",
+]

@@ -1,0 +1,407 @@
+"""Bounded byte buffers — the lowest layer of a channel.
+
+The paper's channels (Figure 3) bottom out in ``java.io.PipedInputStream``
+and ``PipedOutputStream``: a fixed-capacity byte pipe with blocking reads
+and blocking writes.  :class:`BoundedByteBuffer` is our equivalent, built
+on a ring buffer and a pair of condition variables, with three additions
+the reproduction needs:
+
+* **Two-sided close semantics** (paper section 3.4).  Closing the *read*
+  side makes every subsequent write raise :class:`~repro.errors.BrokenChannelError`
+  immediately; closing the *write* side lets the reader drain all buffered
+  bytes and only then observe end of stream.  These two behaviours drive
+  the paper's two cascading-termination modes.
+
+* **Capacity growth while blocked** (paper section 3.5 / Parks' bounded
+  scheduling).  :meth:`BoundedByteBuffer.grow` may be called by the
+  scheduler while writer threads are blocked on a full buffer; they wake
+  up and retry against the new capacity.
+
+* **Blocking accounting.**  Every potentially-blocking operation reports
+  entry/exit to an optional :class:`BlockAccounting` object so that a
+  network-wide deadlock monitor can tell when *every* live process thread
+  is blocked — the precondition for Parks' artificial-deadlock resolution.
+
+The buffer is multi-producer/multi-consumer safe, although Kahn networks
+use it strictly single-producer/single-consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import BrokenChannelError, ChannelClosedError
+
+__all__ = ["BlockAccounting", "BoundedByteBuffer", "DEFAULT_CAPACITY"]
+
+#: Default channel capacity in bytes.  Java's ``PipedInputStream`` default
+#: is 1024 bytes; we match it so the paper's remark that "the default
+#: buffer capacities ... are sufficient for many programs" carries over.
+DEFAULT_CAPACITY = 1024
+
+
+class BlockAccounting:
+    """Callback interface used by the scheduler's deadlock monitor.
+
+    A network installs one accounting object on all of its channel buffers.
+    The default implementation counts blocked threads and invokes an
+    optional callback when the count changes, which is all the deadlock
+    monitor needs.  Methods are invoked *while holding the buffer's lock*,
+    so implementations must not call back into the buffer.
+    """
+
+    def __init__(self, on_change: Optional[Callable[[], None]] = None) -> None:
+        self._lock = threading.Lock()
+        #: thread -> (buffer, "read"|"write") for currently blocked threads
+        self._blocked: dict[threading.Thread, tuple["BoundedByteBuffer", str]] = {}
+        #: bumped on every enter/exit so the monitor can detect churn
+        #: between two observations (stability check)
+        self.generation = 0
+        self._on_change = on_change
+
+    # -- updates (called by buffers) -------------------------------------
+    def enter_read_wait(self, buffer: "BoundedByteBuffer") -> None:
+        self._enter(buffer, "read")
+
+    def exit_read_wait(self, buffer: "BoundedByteBuffer") -> None:
+        self._exit()
+
+    def enter_write_wait(self, buffer: "BoundedByteBuffer") -> None:
+        self._enter(buffer, "write")
+
+    def exit_write_wait(self, buffer: "BoundedByteBuffer") -> None:
+        self._exit()
+
+    def _enter(self, buffer: "BoundedByteBuffer", mode: str) -> None:
+        with self._lock:
+            self._blocked[threading.current_thread()] = (buffer, mode)
+            self.generation += 1
+        self._notify()
+
+    def _exit(self) -> None:
+        with self._lock:
+            self._blocked.pop(threading.current_thread(), None)
+            self.generation += 1
+        self._notify()
+
+    def _notify(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
+
+    # -- queries (used by the deadlock monitor) --------------------------
+    def snapshot(self) -> dict[threading.Thread, tuple["BoundedByteBuffer", str]]:
+        """Consistent copy of the blocked-thread map."""
+        with self._lock:
+            return dict(self._blocked)
+
+    @property
+    def read_blocked(self) -> int:
+        with self._lock:
+            return sum(1 for _, m in self._blocked.values() if m == "read")
+
+    @property
+    def write_blocked(self) -> int:
+        with self._lock:
+            return sum(1 for _, m in self._blocked.values() if m == "write")
+
+    @property
+    def total_blocked(self) -> int:
+        with self._lock:
+            return len(self._blocked)
+
+
+class BoundedByteBuffer:
+    """A blocking, bounded, growable FIFO of bytes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buffered bytes before writes block.  Must be
+        at least 1.
+    name:
+        Diagnostic label used in deadlock reports.
+    accounting:
+        Optional :class:`BlockAccounting` receiving blocked-thread events.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        name: str = "",
+        accounting: Optional[BlockAccounting] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        # ring-ish storage: consumed bytes are skipped via _read_pos and
+        # compacted lazily — `del data[:n]` per read would make a read
+        # O(buffered bytes) and large-buffer workloads quadratic.
+        self._data = bytearray()
+        self._read_pos = 0
+        self._capacity = capacity
+        self._read_closed = False
+        self._write_closed = False
+        self.name = name
+        self.accounting = accounting
+        #: total bytes ever written / read (for stats & tests)
+        self.total_written = 0
+        self.total_read = 0
+        #: when enabled (see :meth:`record_history`), every byte ever
+        #: written is appended here — the channel's full history, the
+        #: object Kahn's theorem actually quantifies over.
+        self.history: Optional[bytearray] = None
+        # listeners called (outside the lock is unsafe; we call under lock,
+        # listeners must be lock-free, e.g. threading.Event.set) whenever
+        # data becomes available or the stream reaches EOF.  Used by
+        # Turnstile's wait-on-any-input and by the deadlock monitor.
+        self._listeners: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _buffered(self) -> int:
+        """Bytes currently readable (caller holds the lock)."""
+        return len(self._data) - self._read_pos
+
+    def _compact(self) -> None:
+        """Drop consumed bytes when they dominate the storage (held lock).
+
+        Amortized O(1): each byte is moved at most once per compaction,
+        and compaction only fires when consumed bytes exceed both a fixed
+        floor and half the storage.
+        """
+        if self._read_pos > 4096 and self._read_pos * 2 >= len(self._data):
+            del self._data[: self._read_pos]
+            self._read_pos = 0
+
+    def available(self) -> int:
+        """Number of bytes that can be read without blocking."""
+        with self._lock:
+            return self._buffered()
+
+    def free_space(self) -> int:
+        """Number of bytes that can be written without blocking."""
+        with self._lock:
+            return max(0, self._capacity - self._buffered())
+
+    @property
+    def read_closed(self) -> bool:
+        return self._read_closed
+
+    @property
+    def write_closed(self) -> bool:
+        return self._write_closed
+
+    def is_full(self) -> bool:
+        with self._lock:
+            return self._buffered() >= self._capacity
+
+    def at_eof(self) -> bool:
+        """True if a read would raise/return empty: writer closed & drained."""
+        with self._lock:
+            return self._write_closed and self._buffered() == 0
+
+    def readable_or_eof(self) -> bool:
+        """True if a read would *not* block (data ready or EOF reached)."""
+        with self._lock:
+            return (self._buffered() > 0 or self._write_closed
+                    or self._read_closed)
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run whenever readability may change.
+
+        The callback runs with the buffer lock held; it must be cheap and
+        must not touch the buffer (setting a ``threading.Event`` is the
+        intended use).
+        """
+        with self._lock:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _fire_listeners(self) -> None:
+        for cb in self._listeners:
+            cb()
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def write(self, data: bytes) -> None:
+        """Append ``data``, blocking while the buffer lacks space.
+
+        Writes larger than the capacity are delivered in chunks, exactly
+        like Java piped streams; interleaving with other writers is then
+        possible, but Kahn networks have a single writer per channel.
+
+        Raises
+        ------
+        BrokenChannelError
+            If the read side is (or becomes, while blocked) closed.
+        ChannelClosedError
+            If this write side has already been closed.
+        """
+        if not data:
+            return
+        view = memoryview(data)
+        offset = 0
+        with self._lock:
+            while offset < len(view):
+                if self._write_closed:
+                    raise ChannelClosedError(
+                        f"write on closed output of channel {self.name!r}")
+                if self._read_closed:
+                    raise BrokenChannelError(
+                        f"reader closed channel {self.name!r}")
+                space = self._capacity - self._buffered()
+                if space <= 0:
+                    self._block_on_full()
+                    continue
+                chunk = view[offset:offset + space]
+                self._data.extend(chunk)
+                if self.history is not None:
+                    self.history.extend(chunk)
+                offset += len(chunk)
+                self.total_written += len(chunk)
+                self._not_empty.notify_all()
+                self._fire_listeners()
+
+    def _block_on_full(self) -> None:
+        acct = self.accounting
+        if acct is not None:
+            acct.enter_write_wait(self)
+        try:
+            self._not_full.wait()
+        finally:
+            if acct is not None:
+                acct.exit_write_wait(self)
+
+    def read(self, max_bytes: int) -> bytes:
+        """Remove and return 1..max_bytes bytes, blocking while empty.
+
+        Returns ``b""`` only at end of stream (write side closed and all
+        data drained) — mirroring Java's ``read`` returning ``-1``.
+
+        Raises
+        ------
+        ChannelClosedError
+            If the read side has already been closed.
+        """
+        if max_bytes <= 0:
+            return b""
+        with self._lock:
+            while True:
+                if self._read_closed:
+                    raise ChannelClosedError(
+                        f"read on closed input of channel {self.name!r}")
+                if self._buffered() > 0:
+                    end = self._read_pos + max_bytes
+                    chunk = bytes(self._data[self._read_pos:end])
+                    self._read_pos += len(chunk)
+                    self._compact()
+                    self.total_read += len(chunk)
+                    self._not_full.notify_all()
+                    return chunk
+                if self._write_closed:
+                    return b""
+                self._block_on_empty()
+
+    def _block_on_empty(self) -> None:
+        acct = self.accounting
+        if acct is not None:
+            acct.enter_read_wait(self)
+        try:
+            self._not_empty.wait()
+        finally:
+            if acct is not None:
+                acct.exit_read_wait(self)
+
+    def drain(self) -> bytes:
+        """Non-blocking: remove and return everything currently buffered.
+
+        Used during migration to preserve unconsumed data (paper section
+        3.3: "Care must be taken to preserve any unconsumed data residing
+        in the channels at the time that reconfiguration takes place").
+        """
+        with self._lock:
+            chunk = bytes(self._data[self._read_pos:])
+            self._data.clear()
+            self._read_pos = 0
+            self.total_read += len(chunk)
+            self._not_full.notify_all()
+            return chunk
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def close_write(self) -> None:
+        """Close the producer side; readers drain then see end of stream."""
+        with self._lock:
+            if self._write_closed:
+                return
+            self._write_closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._fire_listeners()
+
+    def close_read(self) -> None:
+        """Close the consumer side; subsequent/blocked writes break."""
+        with self._lock:
+            if self._read_closed:
+                return
+            self._read_closed = True
+            self._data.clear()
+            self._read_pos = 0
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._fire_listeners()
+
+    def record_history(self, enable: bool = True) -> None:
+        """Start (or stop) recording the complete byte history.
+
+        Must be enabled before any writes for the history to be complete;
+        the channel-history determinacy tests turn it on at construction.
+        """
+        with self._lock:
+            if enable and self.history is None:
+                # include currently-unread bytes so history is complete
+                self.history = bytearray(self._data[self._read_pos:])
+            elif not enable:
+                self.history = None
+
+    def history_bytes(self) -> bytes:
+        """Everything ever written (empty if recording was off)."""
+        with self._lock:
+            return bytes(self.history) if self.history is not None else b""
+
+    def grow(self, new_capacity: int) -> None:
+        """Enlarge the buffer, waking any writers blocked on a full buffer.
+
+        Shrinking is rejected: it could strand already-buffered data above
+        the bound and is never needed by Parks' algorithm, which only ever
+        increases capacities.
+        """
+        with self._lock:
+            if new_capacity < self._capacity:
+                raise ValueError(
+                    f"cannot shrink channel {self.name!r}: "
+                    f"{self._capacity} -> {new_capacity}")
+            self._capacity = new_capacity
+            self._not_full.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BoundedByteBuffer {self.name!r} {self._buffered()}/"
+            f"{self._capacity}B rc={self._read_closed} wc={self._write_closed}>"
+        )

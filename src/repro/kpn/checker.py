@@ -1,0 +1,168 @@
+"""Static consistency checking for program graphs (paper section 3).
+
+"It would not be impossible to enforce these restrictions, such as having
+only a single producer and a single consumer process for each stream, but
+this would incur some run-time overhead.  Alternatively, a visual front
+end could be used ...  The responsibility for consistency checking could
+be given to this visual front end, relieving the run-time system of this
+burden."
+
+We are that front end: :func:`check_network` validates a *built* network
+before it starts, with zero run-time cost.  Checks:
+
+* **single-producer / single-consumer** — no two processes track the same
+  channel endpoint, and no process reads and writes the same channel
+  (which would self-deadlock on capacity);
+* **connectivity** — every channel has both a producer and a consumer
+  among the network's processes (dangling ends stall or leak);
+* **boundedness risk** — undirected cycles flagged (section 3.5: graphs
+  without them are safe at default capacities), with a note when the
+  deadlock monitor is disabled;
+* **termination plausibility** — a network whose sources and sinks are
+  all unbounded is flagged as intentionally non-terminating (fine for
+  signal processing, surprising in a test).
+
+Violations come back as :class:`Issue` records; ``strict=True`` raises
+:class:`GraphConsistencyError` on any *error*-severity issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.kpn.network import Network
+from repro.kpn.process import CompositeProcess, IterativeProcess, Process
+
+__all__ = ["check_network", "Issue", "GraphConsistencyError"]
+
+
+class GraphConsistencyError(ValueError):
+    """Raised in strict mode when the graph violates KPN construction rules."""
+
+    def __init__(self, issues: List["Issue"]) -> None:
+        super().__init__("; ".join(str(i) for i in issues))
+        self.issues = issues
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One finding.  severity ∈ {'error', 'warning', 'info'}."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}:{self.code}] {self.message}"
+
+
+def _leaves(network: Network) -> List[Process]:
+    out: List[Process] = []
+    pending = list(network.processes)
+    while pending:
+        p = pending.pop()
+        if isinstance(p, CompositeProcess):
+            pending.extend(p.processes)
+        else:
+            out.append(p)
+    return out
+
+
+def check_network(network: Network, strict: bool = False) -> List[Issue]:
+    """Validate the graph; returns all findings (errors first).
+
+    ``strict=True`` raises :class:`GraphConsistencyError` if any finding
+    has error severity.
+    """
+    issues: List[Issue] = []
+    leaves = _leaves(network)
+
+    producers: Dict[str, List[str]] = {}
+    consumers: Dict[str, List[str]] = {}
+    for p in leaves:
+        for s in p.output_streams:
+            ch = getattr(s, "channel", None)
+            if ch is not None:
+                producers.setdefault(ch.name, []).append(p.name)
+        for s in p.input_streams:
+            ch = getattr(s, "channel", None)
+            if ch is not None:
+                consumers.setdefault(ch.name, []).append(p.name)
+
+    # single producer / single consumer
+    for name, owners in producers.items():
+        if len(owners) > 1:
+            issues.append(Issue("error", "multi-producer",
+                                f"channel {name!r} written by {owners}"))
+    for name, owners in consumers.items():
+        if len(owners) > 1:
+            issues.append(Issue("error", "multi-consumer",
+                                f"channel {name!r} read by {owners}"))
+
+    # self-loop through a single process
+    for p in leaves:
+        written = {getattr(s, "channel", None) and s.channel.name
+                   for s in p.output_streams if getattr(s, "channel", None)}
+        read = {getattr(s, "channel", None) and s.channel.name
+                for s in p.input_streams if getattr(s, "channel", None)}
+        overlap = written & read
+        for name in overlap:
+            issues.append(Issue("error", "self-loop",
+                                f"{p.name} both reads and writes channel "
+                                f"{name!r}; it will deadlock on itself"))
+
+    # connectivity
+    remote = {ch.name for ch in network.channels
+              if getattr(ch, "receiver_pump", None) is not None
+              or getattr(ch, "sender_pump", None) is not None}
+    for ch in network.channels:
+        has_p = ch.name in producers or ch.name in remote
+        has_c = ch.name in consumers or ch.name in remote
+        if not has_p and not has_c:
+            issues.append(Issue("warning", "orphan-channel",
+                                f"channel {ch.name!r} has no endpoints in "
+                                "this network"))
+        elif not has_p:
+            issues.append(Issue("error", "no-producer",
+                                f"channel {ch.name!r} is read by "
+                                f"{consumers[ch.name]} but never written"))
+        elif not has_c:
+            issues.append(Issue("error", "no-consumer",
+                                f"channel {ch.name!r} is written by "
+                                f"{producers[ch.name]} but never read"))
+
+    # boundedness risk
+    try:
+        if network.has_undirected_cycle():
+            if network.monitor is None:
+                issues.append(Issue(
+                    "warning", "cycle-unbounded-monitorless",
+                    "graph has an undirected cycle and the deadlock "
+                    "monitor is disabled: bounded channels may deadlock "
+                    "with no recovery (section 3.5)"))
+            else:
+                issues.append(Issue(
+                    "info", "cycle",
+                    "graph has an undirected cycle; default capacities may "
+                    "need growth (handled by the deadlock monitor)"))
+    except Exception:
+        pass  # graph export can fail on exotic endpoint layering
+
+    # termination plausibility
+    bounded = any(isinstance(p, IterativeProcess) and p.iterations > 0
+                  for p in leaves)
+    data_bounded = any(type(p).__name__ in ("FromIterable", "Guard")
+                       for p in leaves)
+    if leaves and not bounded and not data_bounded:
+        issues.append(Issue(
+            "info", "non-terminating",
+            "no process has an iteration limit or data-dependent stop; "
+            "the network runs until externally stopped (fine for "
+            "signal-processing-style programs)"))
+
+    issues.sort(key=lambda i: {"error": 0, "warning": 1, "info": 2}[i.severity])
+    if strict and any(i.severity == "error" for i in issues):
+        raise GraphConsistencyError(
+            [i for i in issues if i.severity == "error"])
+    return issues

@@ -1,0 +1,135 @@
+"""Typed primitive I/O over byte channels (``java.io.Data*Stream`` analogue).
+
+The paper keeps channels byte-oriented and layers typed access *inside*
+processes: "a process may send more complex data types across a channel by
+layering a ``java.io.DataOutputStream`` ... over a ``ChannelOutputStream``"
+(section 3.1).  These classes do the same with fixed-width big-endian
+encodings via :mod:`struct`, so a byte-level process (Cons, Duplicate) can
+sit between two typed processes and the framing still lines up.
+
+Encodings (network byte order, matching Java's):
+
+===========  =====  =========================
+method       bytes  format
+===========  =====  =========================
+bool         1      ``?``
+byte         1      ``b``
+int          4      ``>i``
+long         8      ``>q``
+float        4      ``>f``
+double       8      ``>d``
+utf          2+n    ``>H`` length + UTF-8 body
+===========  =====  =========================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kpn.streams import InputStream, OutputStream
+
+__all__ = ["DataInputStream", "DataOutputStream"]
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_FLOAT = struct.Struct(">f")
+_DOUBLE = struct.Struct(">d")
+_BOOL = struct.Struct("?")
+_BYTE = struct.Struct("b")
+_USHORT = struct.Struct(">H")
+
+
+class DataOutputStream:
+    """Writes Java-compatible primitive encodings to an output stream."""
+
+    def __init__(self, out: OutputStream) -> None:
+        self.out = out
+
+    def write(self, data: bytes) -> None:
+        self.out.write(data)
+
+    def write_bool(self, value: bool) -> None:
+        self.out.write(_BOOL.pack(bool(value)))
+
+    def write_byte(self, value: int) -> None:
+        self.out.write(_BYTE.pack(value))
+
+    def write_int(self, value: int) -> None:
+        self.out.write(_INT.pack(value))
+
+    def write_long(self, value: int) -> None:
+        self.out.write(_LONG.pack(value))
+
+    def write_float(self, value: float) -> None:
+        self.out.write(_FLOAT.pack(value))
+
+    def write_double(self, value: float) -> None:
+        self.out.write(_DOUBLE.pack(value))
+
+    def write_utf(self, value: str) -> None:
+        body = value.encode("utf-8")
+        if len(body) > 0xFFFF:
+            raise ValueError("write_utf limited to 65535 encoded bytes")
+        self.out.write(_USHORT.pack(len(body)) + body)
+
+    def flush(self) -> None:
+        self.out.flush()
+
+    def close(self) -> None:
+        self.out.close()
+
+
+class DataInputStream:
+    """Reads the encodings produced by :class:`DataOutputStream`.
+
+    All reads are exact-length (hence blocking); a stream ending mid-value
+    raises :class:`~repro.errors.EndOfStreamError`, which the cascading
+    termination protocol treats as the end-of-data signal.
+    """
+
+    def __init__(self, source: InputStream) -> None:
+        self.source = source
+
+    def _exact(self, n: int) -> bytes:
+        read_exactly = getattr(self.source, "read_exactly", None)
+        if read_exactly is not None:
+            return read_exactly(n)
+        # fall back to looping over short reads
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self.source.read(remaining)
+            if not chunk:
+                from repro.errors import EndOfStreamError
+                raise EndOfStreamError("end of stream")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    def read(self, max_bytes: int) -> bytes:
+        return self.source.read(max_bytes)
+
+    def read_bool(self) -> bool:
+        return _BOOL.unpack(self._exact(1))[0]
+
+    def read_byte(self) -> int:
+        return _BYTE.unpack(self._exact(1))[0]
+
+    def read_int(self) -> int:
+        return _INT.unpack(self._exact(4))[0]
+
+    def read_long(self) -> int:
+        return _LONG.unpack(self._exact(8))[0]
+
+    def read_float(self) -> float:
+        return _FLOAT.unpack(self._exact(4))[0]
+
+    def read_double(self) -> float:
+        return _DOUBLE.unpack(self._exact(8))[0]
+
+    def read_utf(self) -> str:
+        (length,) = _USHORT.unpack(self._exact(2))
+        return self._exact(length).decode("utf-8")
+
+    def close(self) -> None:
+        self.source.close()

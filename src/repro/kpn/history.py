@@ -1,0 +1,152 @@
+"""Channel-history capture: observe the object Kahn's theorem talks about.
+
+Determinacy (paper §2) is a statement about "the history of data elements
+produced on the communication channels" — *all* channels, not just the
+ones a sink happens to watch.  This module captures those histories from
+a live network so they can be compared, channel by channel, against the
+least fixed point of the compiled equations:
+
+    net = Network(); ...build...
+    capture = HistoryCapture(net, codecs={"ch-0": "long", ...})  # or infer
+    net.run()
+    histories = capture.decode()   # {channel name: tuple of elements}
+
+Byte histories are recorded losslessly in the buffers (a flag set before
+the run); decoding applies each channel's codec.  ``infer_codecs`` pulls
+per-channel codecs from the producing process where the standard library
+exposes them (the ``codec`` attribute convention).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Tuple
+
+from repro.kpn.network import Network
+from repro.kpn.process import CompositeProcess
+
+__all__ = ["HistoryCapture", "decode_bytes", "infer_codecs"]
+
+
+class _BytesSource:
+    """Minimal InputStream over captured bytes (for codec decoding)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buf = io.BytesIO(data)
+        self._len = len(data)
+
+    def read(self, n: int) -> bytes:
+        return self._buf.read(n)
+
+    def read_exactly(self, n: int) -> bytes:
+        data = self._buf.read(n)
+        if len(data) != n:
+            from repro.errors import EndOfStreamError
+
+            raise EndOfStreamError("history ended mid-element")
+        return data
+
+    def exhausted(self) -> bool:
+        return self._buf.tell() >= self._len
+
+
+def decode_bytes(data: bytes, codec) -> Tuple:
+    """Decode a full byte history with a codec; trailing partial elements
+    are impossible for intact histories and raise if present."""
+    from repro.processes.codecs import get_codec
+
+    codec = get_codec(codec)
+    source = _BytesSource(data)
+    out = []
+    while not source.exhausted():
+        out.append(codec.read(source))
+    return tuple(out)
+
+
+def infer_codecs(network: Network) -> Dict[str, object]:
+    """Per-channel codec, taken from each channel's *producer* process.
+
+    Relies on the library convention that typed processes expose their
+    element codec as ``.codec`` (and ``.out_codec`` when output framing
+    differs) and track their endpoints.  Byte-level processes (Cons,
+    Duplicate, Identity) forward their *input* channel's codec, resolved
+    iteratively so chains of byte-level processes propagate.
+    """
+    from repro.processes.codecs import Codec
+
+    producers: Dict[str, object] = {}
+    byte_level: Dict[str, str] = {}  # out channel -> in channel (copy deps)
+    pending = list(network.processes)
+    leaves = []
+    while pending:
+        p = pending.pop()
+        if isinstance(p, CompositeProcess):
+            pending.extend(p.processes)
+        else:
+            leaves.append(p)
+    for p in leaves:
+        out_codec = getattr(p, "out_codec", None) or getattr(p, "codec", None)
+        out_names = [s.channel.name for s in p.output_streams
+                     if getattr(s, "channel", None) is not None]
+        in_names = [s.channel.name for s in p.input_streams
+                    if getattr(s, "channel", None) is not None]
+        for name in out_names:
+            if isinstance(out_codec, Codec):
+                producers[name] = out_codec
+            elif in_names:
+                byte_level[name] = in_names[0]
+    # propagate through byte-level chains (bounded: acyclic dependency or
+    # give up after |channels| rounds)
+    for _ in range(len(byte_level) + 1):
+        progressed = False
+        for out_name, in_name in list(byte_level.items()):
+            if out_name not in producers and in_name in producers:
+                producers[out_name] = producers[in_name]
+                progressed = True
+        if not progressed:
+            break
+    return producers
+
+
+class HistoryCapture:
+    """Turn on byte-history recording for every channel of a network.
+
+    Create *before* ``net.run()`` (existing channels are armed now; ones
+    created later by reconfiguration are armed on :meth:`refresh`).
+    """
+
+    def __init__(self, network: Network,
+                 codecs: Optional[Dict[str, object]] = None) -> None:
+        self.network = network
+        self.codecs = dict(codecs) if codecs else None
+        self._armed: set[str] = set()
+        self.refresh()
+
+    def refresh(self) -> None:
+        with self.network._lock:
+            channels = list(self.network.channels)
+        for ch in channels:
+            if ch.name not in self._armed:
+                ch.buffer.record_history(True)
+                self._armed.add(ch.name)
+
+    def raw(self) -> Dict[str, bytes]:
+        with self.network._lock:
+            channels = list(self.network.channels)
+        return {ch.name: ch.buffer.history_bytes() for ch in channels}
+
+    def decode(self) -> Dict[str, Tuple]:
+        """Decoded per-channel element histories.
+
+        Channels with no known codec are skipped (their raw bytes remain
+        available via :meth:`raw`).
+        """
+        codecs = self.codecs if self.codecs is not None \
+            else infer_codecs(self.network)
+        out: Dict[str, Tuple] = {}
+        for name, data in self.raw().items():
+            codec = codecs.get(name)
+            if codec is None:
+                continue
+            out[name] = decode_bytes(data, codec)
+        return out

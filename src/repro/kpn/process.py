@@ -1,0 +1,331 @@
+"""Processes: one thread each, iterative skeleton, hierarchical composition.
+
+Reproduces section 3.2 of the paper:
+
+* :class:`Process` — the ``Runnable`` interface; every process executes in
+  its own thread "to exploit the parallelism available in the program
+  graph".
+* :class:`IterativeProcess` — the abstract base with ``on_start`` /
+  ``step`` / ``on_stop`` and an optional iteration limit; its ``run``
+  method is a line-for-line analogue of the paper's Figure 4, including
+  the silent swallowing of channel I/O exceptions that drives the
+  cascading-termination protocol of section 3.4.
+* :class:`CompositeProcess` — hierarchy without deadlock: every component
+  keeps "a separate thread for each process within a CompositeProcess to
+  avoid introducing deadlock through composition".
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ChannelError
+from repro.kpn.channel import Channel
+from repro.kpn.streams import InputStream, OutputStream
+
+__all__ = ["Process", "IterativeProcess", "CompositeProcess", "StopProcess"]
+
+
+class ProcessControl:
+    """Cooperative pause/resume/abandon control for a running process.
+
+    Live migration (paper section 6.1: "re-distribute processes after
+    execution has already begun") needs the process quiescent at a *step
+    boundary* — between two ``step()`` calls, when it holds no partial
+    element.  The migrator requests a pause; the process parks at its
+    next boundary; the migrator serializes and ships it, then tells the
+    parked local thread to *abandon* (exit without closing streams — the
+    endpoints now live on another server).  ``resume`` instead continues
+    locally (migration aborted).
+    """
+
+    PAUSE_TIMEOUT = 3600.0
+
+    def __init__(self) -> None:
+        self.pause_requested = threading.Event()
+        self._parked = threading.Event()
+        self._decision = threading.Event()
+        self._action = "resume"
+
+    # -- migrator side ------------------------------------------------------
+    def request_pause(self) -> None:
+        self.pause_requested.set()
+
+    def wait_parked(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the process reaches a step boundary and parks.
+
+        False on timeout — e.g. the process is blocked inside a channel
+        operation and cannot reach a boundary until data flows.
+        """
+        return self._parked.wait(timeout)
+
+    def resume(self) -> None:
+        self._action = "resume"
+        self.pause_requested.clear()
+        self._parked.clear()
+        self._decision.set()
+
+    def abandon(self) -> None:
+        self._action = "abandon"
+        self._decision.set()
+
+    # -- process side ---------------------------------------------------------
+    def park(self) -> str:
+        """Block until the migrator decides; returns the action."""
+        self._parked.set()
+        self._decision.wait(self.PAUSE_TIMEOUT)
+        self._decision.clear()
+        return self._action
+
+
+class StopProcess(Exception):
+    """Raised inside ``step`` to terminate the process cleanly.
+
+    Used for data-dependent termination (the Guard process of Figure 11
+    stops "after processing the first true value from its control input").
+    ``IterativeProcess.run`` treats it exactly like reaching an iteration
+    limit: the loop ends and ``on_stop`` closes the process's streams,
+    starting the usual termination cascade.
+    """
+
+_process_counter = itertools.count()
+
+
+class Process:
+    """Base class for all processes (the paper's ``Process`` interface).
+
+    Subclasses implement :meth:`run`.  A process may hold references to
+    channel endpoint streams; those it lists in :attr:`input_streams` and
+    :attr:`output_streams` are closed automatically when it stops, which
+    is what propagates termination through the graph.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or f"{type(self).__name__}-{next(_process_counter)}"
+        self.input_streams: List[InputStream] = []
+        self.output_streams: List[OutputStream] = []
+        #: the owning network, set by ``Network.add``/``Network.spawn``;
+        #: used so dynamically created processes and channels (Sift!) stay
+        #: under the same scheduler and deadlock monitor.
+        self.network = None  # type: Optional["object"]
+        #: an unexpected (non-channel) exception raised by run(), if any
+        self.failure: Optional[BaseException] = None
+        #: live-migration control; created on demand by :meth:`control`
+        self._ctrl: Optional[ProcessControl] = None
+        #: set on the serialized copy during live migration so the resume
+        #: skips on_start (it already ran on the origin server)
+        self._live_migrated = False
+
+    def control(self) -> ProcessControl:
+        """The pause/resume control, created lazily (not picklable)."""
+        if self._ctrl is None:
+            self._ctrl = ProcessControl()
+        return self._ctrl
+
+    # -- wiring helpers ----------------------------------------------------
+    def track(self, *streams) -> None:
+        """Register endpoint streams for automatic close on stop."""
+        for s in streams:
+            if isinstance(s, OutputStream):
+                self.output_streams.append(s)
+            elif isinstance(s, InputStream):
+                self.input_streams.append(s)
+            else:
+                raise TypeError(f"not a stream: {s!r}")
+
+    def untrack(self, *streams) -> None:
+        """Stop managing streams whose ownership moved to another process.
+
+        Self-reconfiguring processes hand their channel endpoints to the
+        processes they insert (Sift gives its old input to the new Modulo,
+        Figure 8); untracking prevents this process's ``on_stop`` from
+        closing a stream it no longer owns.
+        """
+        for s in streams:
+            while s in self.output_streams:
+                self.output_streams.remove(s)
+            while s in self.input_streams:
+                self.input_streams.remove(s)
+
+    def close_all_streams(self) -> None:
+        """Close every tracked stream (the default ``onStop`` behaviour)."""
+        for s in self.output_streams:
+            try:
+                s.close()
+            except Exception:
+                pass
+        for s in self.input_streams:
+            try:
+                s.close()
+            except Exception:
+                pass
+
+    # -- runtime helpers -----------------------------------------------------
+    def new_channel(self, capacity: Optional[int] = None, name: str = "") -> Channel:
+        """Create a channel registered with this process's network (if any).
+
+        Self-reconfiguring processes create channels mid-execution (the
+        Sift process of Figure 8); routing creation through the network
+        keeps the new channel under deadlock accounting.
+        """
+        net = self.network
+        if net is not None:
+            return net.channel(capacity=capacity, name=name)
+        return Channel(name=name) if capacity is None else Channel(capacity, name=name)
+
+    def spawn(self, process: "Process") -> threading.Thread:
+        """Start another process in a new thread, inheriting the network.
+
+        Reconfiguration must be "initiated by processes and not some
+        external agent" (section 3.3); this is the hook processes use to
+        activate the processes they insert into the graph.
+        """
+        net = self.network
+        if net is not None:
+            return net.spawn(process)
+        thread = threading.Thread(target=process.run, name=process.name, daemon=True)
+        thread.start()
+        return thread
+
+    # -- to be provided by subclasses -------------------------------------
+    def run(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # never ship the network, a failure, or thread-affine control
+        state["network"] = None
+        state["failure"] = None
+        state["_ctrl"] = None
+        return state
+
+
+class IterativeProcess(Process):
+    """The ``onStart`` / ``step`` / ``onStop`` skeleton of Figure 4.
+
+    Parameters
+    ----------
+    iterations:
+        Number of ``step`` invocations before stopping; ``0`` (the
+        default) means run until a channel exception occurs.  Iteration
+        limits are the paper's primary termination mechanism (section
+        3.4): limit the Print process to get "the first 100 primes",
+        limit the Sequence process to get "all primes below 100".
+    """
+
+    def __init__(self, iterations: int = 0, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.iterations = iterations
+        #: how many steps actually completed (diagnostics/tests)
+        self.steps_completed = 0
+
+    def on_start(self) -> None:
+        """One-time initialization; default does nothing."""
+
+    def step(self) -> None:
+        """One unit of work; default does nothing."""
+
+    def on_stop(self) -> None:
+        """One-time cleanup; default closes all tracked streams."""
+        self.close_all_streams()
+
+    def _pause_point(self) -> bool:
+        """Between steps: park if a migrator asked; True means abandon."""
+        ctrl = self._ctrl
+        if ctrl is not None and ctrl.pause_requested.is_set():
+            return ctrl.park() == "abandon"
+        return False
+
+    def run(self) -> None:
+        abandoned = False
+        try:
+            if not self._live_migrated:
+                self.on_start()
+            # counting against steps_completed (rather than a local
+            # countdown) lets a live-migrated process resume exactly where
+            # it parked — "data elements are neither lost nor repeated".
+            while self.iterations <= 0 or self.steps_completed < self.iterations:
+                if self._pause_point():
+                    abandoned = True
+                    return
+                self.step()
+                self.steps_completed += 1
+        except StopProcess:
+            # Voluntary, data-dependent termination (Guard, ConsumerTask
+            # finding its answer): treated like an iteration limit.
+            pass
+        except ChannelError:
+            # Normal termination signal: an upstream or downstream process
+            # stopped and closed its streams (section 3.4).
+            pass
+        except Exception as exc:  # noqa: BLE001 - report, then still clean up
+            self.failure = exc
+        finally:
+            if not abandoned:
+                self.on_stop()
+            # abandoned: the streams belong to the migrated copy now —
+            # closing them here would sever the moved process's channels.
+
+
+class CompositeProcess(Process):
+    """Hierarchy in the program graph (section 3.2, Figure 6).
+
+    Running a composite starts **one thread per component** and waits for
+    all of them: sequencing the components' steps in a single thread could
+    deadlock, so composition never reduces concurrency.  Composites nest:
+    a member may itself be a CompositeProcess.  Distributing a composite
+    moves all of its members (and their channel endpoints) together, which
+    is exactly how the paper partitions graphs across servers (Figures
+    14–15).
+    """
+
+    def __init__(self, processes: Iterable[Process] = (), name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.processes: List[Process] = list(processes)
+
+    def add(self, process: Process) -> Process:
+        self.processes.append(process)
+        if self.network is not None:
+            process.network = self.network
+        return process
+
+    def members(self) -> Sequence[Process]:
+        return tuple(self.processes)
+
+    def flatten(self) -> List[Process]:
+        """All leaf (non-composite) processes, recursively."""
+        leaves: List[Process] = []
+        for p in self.processes:
+            if isinstance(p, CompositeProcess):
+                leaves.extend(p.flatten())
+            else:
+                leaves.append(p)
+        return leaves
+
+    def run(self) -> None:
+        threads = []
+        for p in self.processes:
+            if p.network is None:
+                p.network = self.network
+            if self.network is not None:
+                threads.append(self.network.spawn(p))
+            else:
+                t = threading.Thread(target=p.run, name=p.name, daemon=True)
+                t.start()
+                threads.append(t)
+        for t in threads:
+            t.join()
+        failures = [p for p in self.processes if p.failure is not None]
+        if failures:
+            self.failure = failures[0].failure
+
+    def close_all_streams(self) -> None:
+        super().close_all_streams()
+        for p in self.processes:
+            p.close_all_streams()

@@ -1,0 +1,217 @@
+"""Deadlock detection and Parks' bounded scheduling (paper section 3.5).
+
+Bounded channels with blocking writes keep memory use finite and enforce
+scheduling fairness, but "may introduce deadlock" — even in acyclic graphs
+(paper Figure 13).  Since choosing deadlock-free capacities statically is
+undecidable, Parks' bounded-scheduling procedure [13] manages capacities at
+run time:
+
+1. Detect that the network has globally stalled: every live process thread
+   is blocked on a channel operation.
+2. If at least one of them is blocked **writing** to a full channel, the
+   deadlock is *artificial*: enlarge the smallest-capacity full channel
+   among those written to and resume.  Repeating this executes any program
+   that can run in bounded memory using bounded memory, and degrades
+   gracefully (buffers grow only as needed) otherwise.
+3. If all are blocked **reading**, the deadlock is *true*: no capacity
+   assignment helps.  Depending on policy we raise, stop the network, or
+   leave it (an externally-fed network may legitimately idle).
+
+Detection uses the blocked-thread accounting that
+:class:`~repro.kpn.buffers.BoundedByteBuffer` reports into
+:class:`~repro.kpn.buffers.BlockAccounting`: the monitor wakes on every
+blocking transition, and a generation-stable double-read filters out the
+race where a thread is about to be woken.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    ArtificialDeadlockError,
+    TrueDeadlockError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kpn.network import Network
+
+__all__ = ["DeadlockMonitor", "DeadlockPolicy", "GrowthEvent"]
+
+
+@dataclass
+class GrowthEvent:
+    """Record of one capacity-growth action (for tests and benchmarks)."""
+
+    channel_name: str
+    old_capacity: int
+    new_capacity: int
+    blocked_processes: tuple[str, ...] = ()
+
+
+@dataclass
+class DeadlockPolicy:
+    """Configuration for the monitor's reactions.
+
+    Attributes
+    ----------
+    grow:
+        Resolve artificial deadlocks by growing buffers (Parks).  When
+        False, an artificial deadlock is treated per ``on_true``.
+    growth_factor:
+        Multiplier applied to the chosen channel's capacity.
+    max_capacity:
+        Hard cap per channel; reaching it turns an artificial deadlock
+        into a reported :class:`ArtificialDeadlockError`.
+    on_true:
+        "raise" — store a :class:`TrueDeadlockError` and shut the network
+        down (``Network.join`` re-raises it);
+        "stop" — shut down silently;
+        "ignore" — leave the network blocked.
+    settle_ms:
+        Stability window: the stall must persist, with no accounting
+        churn, for this long before the monitor acts.
+    """
+
+    grow: bool = True
+    growth_factor: int = 2
+    max_capacity: int = 64 * 1024 * 1024
+    on_true: str = "raise"
+    settle_ms: float = 20.0
+
+
+class DeadlockMonitor:
+    """Watches a network for global stalls and applies the policy.
+
+    The monitor runs in its own daemon thread.  It is *kicked* (woken) by
+    every blocking transition in the network's accounting and by process
+    thread exits, then re-verifies the stall after a settle window.
+    """
+
+    def __init__(self, network: "Network", policy: Optional[DeadlockPolicy] = None,
+                 on_event: Optional[Callable[[GrowthEvent], None]] = None) -> None:
+        self.network = network
+        self.policy = policy or DeadlockPolicy()
+        self.on_event = on_event
+        self.growth_events: List[GrowthEvent] = []
+        self.error: Optional[Exception] = None
+        self._cond = threading.Condition()
+        self._kicked = False
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run, name="deadlock-monitor",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def kick(self) -> None:
+        """Wake the monitor to re-examine the network."""
+        with self._cond:
+            self._kicked = True
+            self._cond.notify_all()
+
+    # -- main loop ---------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._kicked and not self._stop:
+                    # periodic re-check regardless of kicks: covers the
+                    # (unlikely) loss of a wakeup and lets us observe
+                    # settle-window expiry.
+                    self._cond.wait(timeout=0.05)
+                if self._stop:
+                    return
+                self._kicked = False
+            try:
+                self._examine()
+            except Exception as exc:  # pragma: no cover - defensive
+                self.error = exc
+                return
+
+    def _stalled(self) -> Optional[dict]:
+        """Return the blocked map if every live network thread is blocked."""
+        acct = self.network.accounting
+        live = self.network.live_threads()
+        if not live:
+            return None
+        blocked = acct.snapshot()
+        if all(t in blocked for t in live):
+            return blocked
+        return None
+
+    def _examine(self) -> None:
+        acct = self.network.accounting
+        first = self._stalled()
+        if first is None:
+            return
+        gen = acct.generation
+        # stability window: wait, then confirm nothing moved
+        threading.Event().wait(self.policy.settle_ms / 1000.0)
+        if acct.generation != gen:
+            return
+        blocked = self._stalled()
+        if blocked is None:
+            return
+        self._resolve(blocked)
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve(self, blocked: dict) -> None:
+        live = self.network.live_threads()
+        names = tuple(sorted(t.name for t in live))
+        write_waits = [
+            (buffer, thread)
+            for thread, (buffer, mode) in blocked.items()
+            if mode == "write" and thread in live
+        ]
+        if write_waits:
+            self._resolve_artificial(write_waits, names)
+        else:
+            self._resolve_true(names)
+
+    def _resolve_artificial(self, write_waits, names) -> None:
+        if not self.policy.grow:
+            self.error = ArtificialDeadlockError(
+                "artificial deadlock (growth disabled)", names)
+            self.network.shutdown()
+            return
+        # Parks' rule: among the full channels being written to, grow the
+        # one with the smallest capacity.
+        buffer = min((b for b, _ in write_waits), key=lambda b: b.capacity)
+        old = buffer.capacity
+        new = min(old * self.policy.growth_factor, self.policy.max_capacity)
+        if new <= old:
+            self.error = ArtificialDeadlockError(
+                f"channel {buffer.name!r} already at max capacity {old}", names)
+            self.network.shutdown()
+            return
+        buffer.grow(new)
+        event = GrowthEvent(buffer.name, old, new, names)
+        self.growth_events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _resolve_true(self, names) -> None:
+        if self.policy.on_true == "ignore":
+            return
+        has_remote = getattr(self.network, "has_remote_links", None)
+        if has_remote is not None and has_remote():
+            # Distributed case: a read-blocked stall may be waiting on
+            # traffic from another server.  Local diagnosis would need the
+            # distributed deadlock detection the paper leaves as future
+            # work (section 6.2), so we stand down.
+            return
+        if self.policy.on_true == "raise":
+            self.error = TrueDeadlockError(
+                f"true deadlock: all processes blocked reading: {names}", names)
+        self.network.shutdown()

@@ -1,0 +1,312 @@
+"""Layered stream classes (paper Figure 3).
+
+The paper implements channels as a stack of stream objects::
+
+    Channel
+      ChannelOutputStream            ChannelInputStream
+        SequenceOutputStream           BlockingInputStream
+          LocalOutputStream              SequenceInputStream
+            (shared pipe buffer)           LocalInputStream
+                                              (shared pipe buffer)
+
+Only the *lowest* layer moves bytes; it can be swapped between local
+(shared-memory) and remote (socket) implementations without the layers
+above — or the processes using them — noticing.  This module provides the
+abstract stream interfaces, the local implementations backed by
+:class:`~repro.kpn.buffers.BoundedByteBuffer`, the blocking-read enforcer,
+and the sequence streams that make mid-execution swapping and channel
+splicing possible.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+from repro.errors import ChannelClosedError, EndOfStreamError
+from repro.kpn.buffers import BoundedByteBuffer
+
+__all__ = [
+    "InputStream",
+    "OutputStream",
+    "LocalInputStream",
+    "LocalOutputStream",
+    "BlockingInputStream",
+    "SequenceInputStream",
+    "SequenceOutputStream",
+]
+
+
+class InputStream:
+    """Abstract byte source.
+
+    ``read(n)`` may return *fewer* than ``n`` bytes (like
+    ``java.io.InputStream``) and returns ``b""`` at end of stream.  Layers
+    that need exact-length reads wrap a :class:`BlockingInputStream` on
+    top, which converts short reads into blocking loops — the property
+    Kahn's model requires (section 3.1: "read operations on channels
+    *must* block if no data is available").
+    """
+
+    def read(self, max_bytes: int) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def available(self) -> int:
+        """Bytes readable without blocking (0 if unknown)."""
+        return 0
+
+    def at_eof(self) -> bool:
+        """True if end of stream has definitely been reached."""
+        return False
+
+
+class OutputStream:
+    """Abstract byte sink with blocking writes (section 3.5)."""
+
+    def write(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered bytes downstream.  Local pipes are unbuffered."""
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# local (shared-memory) implementations
+# ---------------------------------------------------------------------------
+
+class LocalInputStream(InputStream):
+    """Read side of an in-memory pipe (``java.io.PipedInputStream``)."""
+
+    def __init__(self, buffer: BoundedByteBuffer) -> None:
+        self.buffer = buffer
+
+    def read(self, max_bytes: int) -> bytes:
+        return self.buffer.read(max_bytes)
+
+    def close(self) -> None:
+        self.buffer.close_read()
+
+    def available(self) -> int:
+        return self.buffer.available()
+
+    def at_eof(self) -> bool:
+        return self.buffer.at_eof()
+
+
+class LocalOutputStream(OutputStream):
+    """Write side of an in-memory pipe (``java.io.PipedOutputStream``)."""
+
+    def __init__(self, buffer: BoundedByteBuffer) -> None:
+        self.buffer = buffer
+
+    def write(self, data: bytes) -> None:
+        self.buffer.write(data)
+
+    def close(self) -> None:
+        self.buffer.close_write()
+
+
+# ---------------------------------------------------------------------------
+# blocking-read enforcement
+# ---------------------------------------------------------------------------
+
+class BlockingInputStream(InputStream):
+    """Enforces Kahn blocking reads over a possibly-short-reading source.
+
+    ``java.io.InputStream`` "allows non-blocking read operations. When
+    reading an array of bytes, the operation may complete early, returning
+    fewer bytes than were requested.  Our BlockingInputStream class
+    enforces blocking reads."  ``read_exactly`` loops until the requested
+    byte count has been accumulated, raising
+    :class:`~repro.errors.EndOfStreamError` if the stream ends first
+    (including mid-element, which indicates a protocol error upstream).
+    """
+
+    def __init__(self, source: InputStream) -> None:
+        self.source = source
+
+    def read(self, max_bytes: int) -> bytes:
+        return self.source.read(max_bytes)
+
+    def read_exactly(self, n: int) -> bytes:
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self.source.read(remaining)
+            if not chunk:
+                if parts:
+                    raise EndOfStreamError(
+                        f"stream ended mid-element: wanted {n} bytes, "
+                        f"got {n - remaining}")
+                raise EndOfStreamError("end of stream")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    def close(self) -> None:
+        self.source.close()
+
+    def available(self) -> int:
+        return self.source.available()
+
+    def at_eof(self) -> bool:
+        return self.source.at_eof()
+
+
+# ---------------------------------------------------------------------------
+# sequence streams: splicing and mid-execution swapping
+# ---------------------------------------------------------------------------
+
+class SequenceInputStream(InputStream):
+    """Reads a sequence of underlying streams, in order, as one stream.
+
+    This is the mechanism behind both
+
+    * **channel splicing** during self-reconfiguration (paper Figure 10):
+      when a process removes itself from the graph, the input stream of
+      its *input* channel is appended here, so the consumer first drains
+      everything the removed process produced and then continues with the
+      upstream data "without interruption"; and
+
+    * **transport swapping** during migration: a socket-backed stream can
+      be appended so the consumer switches from local to remote bytes in
+      FIFO order.
+
+    End of stream is reported only when the *last* queued stream ends.
+    Appending after the final EOF has been observed is an error — callers
+    must splice before closing the stream currently being consumed (the
+    self-removing Cons does exactly this).
+    """
+
+    def __init__(self, first: Optional[InputStream] = None) -> None:
+        self._lock = threading.RLock()
+        self._streams: list[InputStream] = [first] if first is not None else []
+        self._closed = False
+        self._finished = False  # saw EOF on the final stream
+
+    def append(self, stream: InputStream) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("append on closed SequenceInputStream")
+            if self._finished:
+                raise ChannelClosedError(
+                    "append after end of stream already observed")
+            self._streams.append(stream)
+
+    @property
+    def current(self) -> Optional[InputStream]:
+        with self._lock:
+            return self._streams[0] if self._streams else None
+
+    def read(self, max_bytes: int) -> bytes:
+        # The read itself happens outside the lock: blocking in the
+        # underlying stream while holding our lock would prevent append().
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ChannelClosedError("read on closed SequenceInputStream")
+                if not self._streams:
+                    self._finished = True
+                    return b""
+                current = self._streams[0]
+            chunk = current.read(max_bytes)
+            if chunk:
+                return chunk
+            # current stream exhausted: advance (if it is still the head —
+            # a concurrent close may have cleared the list).
+            with self._lock:
+                if self._streams and self._streams[0] is current:
+                    self._streams.pop(0)
+                if not self._streams:
+                    self._finished = True
+                    return b""
+
+    def close(self) -> None:
+        with self._lock:
+            streams = list(self._streams)
+            self._streams.clear()
+            self._closed = True
+        for s in streams:
+            try:
+                s.close()
+            except Exception:
+                pass
+
+    def available(self) -> int:
+        with self._lock:
+            return sum(s.available() for s in self._streams)
+
+    def at_eof(self) -> bool:
+        with self._lock:
+            if self._finished:
+                return True
+            return all(s.at_eof() for s in self._streams) if self._streams else False
+
+
+class SequenceOutputStream(OutputStream):
+    """A switchable output target preserving byte order.
+
+    ``switch_to`` replaces the underlying sink; bytes written before the
+    switch were delivered to the old sink, bytes after go to the new one,
+    so FIFO channel order is preserved as long as the old sink's bytes are
+    delivered ahead of the new sink's (the migration machinery arranges
+    exactly that with a drain-then-forward pump).
+    """
+
+    def __init__(self, target: OutputStream) -> None:
+        self._lock = threading.RLock()
+        self._target = target
+        self._closed = False
+
+    @property
+    def current(self) -> OutputStream:
+        with self._lock:
+            return self._target
+
+    def switch_to(self, new_target: OutputStream, close_old: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("switch_to on closed SequenceOutputStream")
+            old = self._target
+            self._target = new_target
+        if close_old and old is not new_target:
+            try:
+                old.close()
+            except Exception:
+                pass
+
+    def write(self, data: bytes) -> None:
+        # Snapshot the target outside the write so a blocked write does not
+        # hold our lock (a switch then applies to the *next* write).
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("write on closed SequenceOutputStream")
+            target = self._target
+        target.write(data)
+
+    def flush(self) -> None:
+        with self._lock:
+            target = self._target
+        target.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            target = self._target
+        target.close()
+
+
+def concatenated(streams: Iterable[InputStream]) -> SequenceInputStream:
+    """Convenience: a SequenceInputStream over ``streams`` in order."""
+    seq = SequenceInputStream()
+    for s in streams:
+        seq.append(s)
+    return seq

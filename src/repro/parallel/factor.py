@@ -1,0 +1,205 @@
+"""Weak-RSA-key factorization workload (paper section 5.2).
+
+"A 'weak' key would be one for which the difference between P and Q is
+relatively small.  A brute-force approach for finding such 'weak' keys
+searches for a value of P such that N = P × (P + D) for small differences
+D."  Each worker task tests a batch of even differences (the paper's
+batch of 32 "struck a balance between computation and communication");
+for a given D, ``N = P(P+D)`` has the closed-form candidate
+``P = (−D + √(D² + 4N)) / 2``, integral exactly when ``D² + 4N`` is a
+perfect square of the right parity — checked with exact integer
+arithmetic, so arbitrarily large keys work.
+
+:func:`make_weak_key` builds an experimental instance exactly as the
+paper did: pick a random prime P of the requested size, add a small
+difference D "chosen so that the factor P would be found after executing
+<n> worker tasks".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.parallel.tasks import STOP
+
+__all__ = [
+    "FactorResult", "FactorWorkerTask", "FactorProducerTask",
+    "FactorConsumerResult", "factor_search_sequential",
+    "is_probable_prime", "random_prime", "make_weak_key",
+    "solve_difference",
+]
+
+#: the paper's batch size: even differences tested per worker task
+DEFAULT_BATCH = 32
+
+
+# ---------------------------------------------------------------------------
+# number theory
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int, rounds: int = 24,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test (deterministic for n < 3.3e24 bases
+    aside, we use random bases + the small-prime screen)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: Optional[random.Random] = None) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def solve_difference(n: int, d: int) -> Optional[int]:
+    """Return P if ``n == P * (P + d)`` for a positive integer P, else None."""
+    disc = d * d + 4 * n
+    s = math.isqrt(disc)
+    if s * s != disc:
+        return None
+    if (s - d) % 2 != 0:
+        return None
+    p = (s - d) // 2
+    if p <= 0 or p * (p + d) != n:
+        return None
+    return p
+
+
+def make_weak_key(bits: int = 64, found_at_task: int = 16,
+                  batch: int = DEFAULT_BATCH,
+                  seed: Optional[int] = None) -> Tuple[int, int, int]:
+    """Build (N, P, D): N = P(P+D) with D landing inside worker task
+    ``found_at_task`` (0-based) when tasks test ``batch`` even differences
+    each — the paper's construction with 512-bit P and 2048 tasks.
+    """
+    rng = random.Random(seed)
+    p = random_prime(bits, rng)
+    # task k covers even differences [2*batch*k, 2*batch*(k+1))
+    d = 2 * batch * found_at_task + 2 * rng.randrange(batch)
+    return p * (p + d), p, d
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FactorResult:
+    """Outcome of one worker task (also serves as its consumer task)."""
+
+    task_index: int
+    d_start: int
+    d_count: int
+    p: Optional[int] = None
+    d: Optional[int] = None
+
+    @property
+    def found(self) -> bool:
+        return self.p is not None
+
+    def run(self) -> "FactorResult":
+        """Consumer-task role: report the result value.
+
+        Returning ``self`` lets a collecting Consumer keep the full
+        per-task record; the stop predicate
+        (:meth:`FactorConsumerResult.stop_when`) fires on ``found``.
+        """
+        return self
+
+
+class FactorWorkerTask:
+    """Tests ``d_count`` even differences starting at ``d_start``."""
+
+    def __init__(self, n: int, task_index: int, d_start: int,
+                 d_count: int = DEFAULT_BATCH) -> None:
+        self.n = n
+        self.task_index = task_index
+        self.d_start = d_start
+        self.d_count = d_count
+
+    def run(self) -> FactorResult:
+        d = self.d_start
+        for _ in range(self.d_count):
+            p = solve_difference(self.n, d)
+            if p is not None:
+                return FactorResult(self.task_index, self.d_start,
+                                    self.d_count, p=p, d=d)
+            d += 2
+        return FactorResult(self.task_index, self.d_start, self.d_count)
+
+
+class FactorProducerTask:
+    """Emits FactorWorkerTasks covering differences 0, 2, 4, … in batches."""
+
+    def __init__(self, n: int, batch: int = DEFAULT_BATCH,
+                 max_tasks: Optional[int] = None) -> None:
+        self.n = n
+        self.batch = batch
+        self.max_tasks = max_tasks
+        self.next_index = 0
+
+    def run(self) -> Optional[FactorWorkerTask]:
+        if self.max_tasks is not None and self.next_index >= self.max_tasks:
+            return None
+        task = FactorWorkerTask(self.n, self.next_index,
+                                d_start=2 * self.batch * self.next_index,
+                                d_count=self.batch)
+        self.next_index += 1
+        return task
+
+
+class FactorConsumerResult:
+    """Predicate for the generic Consumer: stop once a factor is reported."""
+
+    @staticmethod
+    def stop_when(value) -> bool:
+        return isinstance(value, FactorResult) and value.found
+
+
+# ---------------------------------------------------------------------------
+# sequential baseline (Table 1's "strictly sequential implementation ...
+# directly invoking the run methods ... without the use of process networks")
+# ---------------------------------------------------------------------------
+
+def factor_search_sequential(n: int, batch: int = DEFAULT_BATCH,
+                             max_tasks: Optional[int] = None) -> Optional[FactorResult]:
+    """Run producer → worker → consumer task chain in a single loop."""
+    producer = FactorProducerTask(n, batch=batch, max_tasks=max_tasks)
+    while True:
+        work = producer.run()
+        if work is None:
+            return None
+        result = work.run()
+        outcome = result.run()
+        if isinstance(outcome, FactorResult) and outcome.found:
+            return outcome

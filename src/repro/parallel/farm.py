@@ -1,0 +1,99 @@
+"""One-call task farms: the Figure 1/16/17 pipelines, ready to run.
+
+:func:`run_farm` assembles producer → (single worker | MetaStatic |
+MetaDynamic) → consumer, runs the network, and returns what the consumer
+collected.  It is the entry point the examples and the real-execution
+benchmark use; everything it builds is also reachable piecemeal through
+:mod:`repro.parallel.meta` for callers that want to distribute workers to
+compute servers first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.kpn.network import Network
+from repro.parallel.generic import Consumer, Producer, Worker
+from repro.parallel.meta import ParallelHarness, meta_dynamic, meta_static
+
+__all__ = ["build_farm", "run_farm", "FarmHandle"]
+
+
+class FarmHandle:
+    """Everything :func:`build_farm` created, pre-run."""
+
+    def __init__(self, network: Network, results: List[Any],
+                 harness: Optional[ParallelHarness],
+                 producer: Producer, consumer: Consumer) -> None:
+        self.network = network
+        self.results = results
+        self.harness = harness
+        self.producer = producer
+        self.consumer = consumer
+
+    def run(self, timeout: Optional[float] = None) -> List[Any]:
+        self.network.run(timeout=timeout)
+        return self.results
+
+
+def build_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
+               stop_when: Optional[Callable[[Any], bool]] = None,
+               producer_iterations: int = 0,
+               consumer_iterations: int = 0,
+               slowdowns: Optional[List[float]] = None,
+               network: Optional[Network] = None,
+               channel_capacity: Optional[int] = None,
+               cluster=None, defer_workers: bool = False) -> FarmHandle:
+    """Assemble a farm; ``mode`` ∈ {"pipeline", "static", "dynamic"}.
+
+    ``cluster`` (a started :class:`~repro.distributed.LocalCluster`) ships
+    the workers to compute servers before the network starts; plumbing and
+    producer/consumer stay local, exactly the partitioning the paper's
+    experiments used.
+
+    ``defer_workers=True`` adds only the plumbing to the network and
+    leaves the workers on the harness for the caller to place — the hook
+    policy-driven placement (:func:`repro.distributed.balancer.place_workers`)
+    uses.
+    """
+    if mode not in ("pipeline", "static", "dynamic"):
+        raise ValueError("mode must be 'pipeline', 'static' or 'dynamic'")
+    net = network or Network(name=f"farm-{mode}")
+    tasks = net.channel(channel_capacity, name="farm-tasks")
+    results_ch = net.channel(channel_capacity, name="farm-results")
+    collected: List[Any] = []
+    producer = Producer(producer_task, tasks.get_output_stream(),
+                        iterations=producer_iterations, name="Producer")
+    consumer = Consumer(results_ch.get_input_stream(),
+                        iterations=consumer_iterations,
+                        collect_into=collected, stop_when=stop_when,
+                        name="Consumer")
+    net.add(producer)
+    harness: Optional[ParallelHarness] = None
+    if mode == "pipeline":
+        slow = slowdowns[0] if slowdowns else 0.0
+        net.add(Worker(tasks.get_input_stream(),
+                       results_ch.get_output_stream(), slowdown=slow,
+                       name="Worker"))
+    else:
+        build = meta_static if mode == "static" else meta_dynamic
+        harness = build(tasks.get_input_stream(),
+                        results_ch.get_output_stream(), n_workers,
+                        network=net, slowdowns=slowdowns,
+                        channel_capacity=channel_capacity)
+        if cluster is not None:
+            harness.distribute(cluster)
+            harness.add_local_to(net)
+        elif defer_workers:
+            harness.add_local_to(net)
+        else:
+            harness.add_to(net)
+    net.add(consumer)
+    return FarmHandle(net, collected, harness, producer, consumer)
+
+
+def run_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
+             timeout: Optional[float] = 300.0, **kwargs) -> List[Any]:
+    """Build and run a farm; returns the consumer's collected values."""
+    return build_farm(producer_task, n_workers=n_workers, mode=mode,
+                      **kwargs).run(timeout=timeout)

@@ -1,0 +1,117 @@
+"""Generic Producer, Worker, and Consumer processes (paper section 5.1).
+
+"The creation of a new application simply requires the implementation of
+application-specific producer, worker, and consumer Tasks" — these three
+processes are completely workload-agnostic and move :class:`Task` objects
+over ordinary byte channels via the object codec.
+
+Termination forms a clean cascade in both directions:
+
+* supply exhausted (producer task returns ``None``, or the Producer hits
+  its iteration limit) → Producer stops → workers drain and stop →
+  consumer drains and stops;
+* answer found (consumer task returns :data:`~repro.parallel.tasks.STOP`
+  or raises StopProcess) → Consumer stops → broken channels propagate
+  upstream, stopping workers and producer (the paper notes some
+  already-produced tasks may go unconsumed in this mode — that is
+  expected and harmless).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.kpn.process import IterativeProcess, StopProcess
+from repro.kpn.streams import InputStream, OutputStream
+from repro.parallel.tasks import STOP
+from repro.processes.codecs import OBJECT
+
+__all__ = ["Producer", "Worker", "Consumer"]
+
+
+class Producer(IterativeProcess):
+    """Repeatedly runs one producer task; emits the tasks it returns.
+
+    ``iterations`` bounds the number of emissions (the paper's
+    mechanism); a producer task returning ``None`` ends the supply early.
+    """
+
+    def __init__(self, task: Any, out: OutputStream, iterations: int = 0,
+                 name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.task = task
+        self.out = out
+        self.track(out)
+
+    def step(self) -> None:
+        work = self.task.run()
+        if work is None:
+            raise StopProcess
+        OBJECT.write(self.out, work)
+
+
+class Worker(IterativeProcess):
+    """Reads a task, runs it, writes the (task-shaped) result.
+
+    ``slowdown`` adds a fixed per-task delay — used by tests and the
+    real-execution benchmark to emulate heterogeneous CPU speeds on one
+    machine (a class-C worker is a class-A worker with a bigger
+    slowdown).
+    """
+
+    def __init__(self, source: InputStream, out: OutputStream,
+                 iterations: int = 0, slowdown: float = 0.0,
+                 name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.out = out
+        self.slowdown = slowdown
+        self.tasks_processed = 0
+        self.track(source, out)
+
+    def step(self) -> None:
+        task = OBJECT.read(self.source)
+        result = task.run()
+        if self.slowdown > 0.0:
+            time.sleep(self.slowdown)
+        self.tasks_processed += 1
+        OBJECT.write(self.out, result)
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["tasks_processed"] = 0
+        return state
+
+
+class Consumer(IterativeProcess):
+    """Reads result tasks and runs them (paper: "discards the result").
+
+    Pragmatic extensions for in-process use: ``collect_into`` records each
+    run's return value, and ``stop_when`` stops the computation once a
+    predicate on those values holds — both optional, neither changes the
+    Task protocol.
+    """
+
+    def __init__(self, source: InputStream, iterations: int = 0,
+                 collect_into: Optional[List[Any]] = None,
+                 stop_when: Optional[Callable[[Any], bool]] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.collect_into = collect_into
+        self.stop_when = stop_when
+        self.track(source)
+
+    def step(self) -> None:
+        task = OBJECT.read(self.source)
+        run = getattr(task, "run", None)
+        # Plain values are their own result — lets workloads whose worker
+        # tasks return bare data skip defining a consumer-task class.
+        value = run() if callable(run) else task
+        if self.collect_into is not None:
+            self.collect_into.append(value)
+        if value == STOP:
+            raise StopProcess
+        if self.stop_when is not None and self.stop_when(value):
+            raise StopProcess

@@ -1,0 +1,134 @@
+"""Block image compression: the motivating workload of section 5.
+
+"An image can be divided into 16x16 blocks of pixels that are compressed
+independently with the results collected and written in order to an image
+file."  We implement exactly that shape with a lossless block codec
+(delta-predictive transform + zlib), so correctness is checkable
+bit-for-bit: compress in parallel, reassemble in consumer order, decode,
+compare with the original.  Because the parallel compositions are
+order-preserving, reassembly is a plain sequential append — no indices
+needed — which is itself a meaningful test of the "equivalent to a single
+worker" property.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BLOCK", "split_blocks", "join_blocks", "compress_block",
+    "decompress_block", "BlockTask", "CompressedBlock",
+    "ImageProducerTask", "reassemble", "random_image",
+]
+
+#: the paper's block edge
+BLOCK = 16
+
+
+def random_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A synthetic grayscale image with spatial correlation (so the codec
+    has something to compress)."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(height // 8 + 2, width // 8 + 2))
+    # crude bilinear upsample for smooth regions + noise
+    img = np.kron(base, np.ones((8, 8)))[:height, :width]
+    img = img + rng.integers(-6, 7, size=(height, width))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def split_blocks(image: np.ndarray, block: int = BLOCK) -> List[np.ndarray]:
+    """Row-major 16×16 tiles; edge tiles are zero-padded to full size."""
+    h, w = image.shape
+    blocks = []
+    for y in range(0, h, block):
+        for x in range(0, w, block):
+            tile = image[y:y + block, x:x + block]
+            if tile.shape != (block, block):
+                padded = np.zeros((block, block), dtype=image.dtype)
+                padded[: tile.shape[0], : tile.shape[1]] = tile
+                tile = padded
+            blocks.append(np.ascontiguousarray(tile))
+    return blocks
+
+
+def join_blocks(blocks: List[np.ndarray], height: int, width: int,
+                block: int = BLOCK) -> np.ndarray:
+    """Inverse of :func:`split_blocks` (drops the padding)."""
+    cols = (width + block - 1) // block
+    out = np.zeros((height, width), dtype=blocks[0].dtype)
+    for i, tile in enumerate(blocks):
+        y = (i // cols) * block
+        x = (i % cols) * block
+        out[y:y + block, x:x + block] = tile[: min(block, height - y),
+                                             : min(block, width - x)]
+    return out
+
+
+def compress_block(tile: np.ndarray) -> bytes:
+    """Lossless: horizontal delta prediction, then zlib."""
+    deltas = tile.astype(np.int16)
+    deltas[:, 1:] -= tile[:, :-1].astype(np.int16)
+    return zlib.compress(deltas.astype(np.int16).tobytes(), level=6)
+
+
+def decompress_block(payload: bytes, block: int = BLOCK) -> np.ndarray:
+    deltas = np.frombuffer(zlib.decompress(payload), dtype=np.int16)
+    deltas = deltas.reshape(block, block).astype(np.int16)
+    out = np.cumsum(deltas, axis=1, dtype=np.int64)
+    return out.astype(np.uint8)
+
+
+@dataclass
+class CompressedBlock:
+    """Worker output; its consumer-task ``run`` hands back (index, bytes)."""
+
+    index: int
+    payload: bytes
+
+    def run(self) -> Tuple[int, bytes]:
+        return self.index, self.payload
+
+
+@dataclass
+class BlockTask:
+    """Worker task: compress one tile."""
+
+    index: int
+    tile: np.ndarray
+
+    def run(self) -> CompressedBlock:
+        return CompressedBlock(self.index, compress_block(self.tile))
+
+
+class ImageProducerTask:
+    """Producer task: emits one BlockTask per tile, in row-major order."""
+
+    def __init__(self, image: np.ndarray, block: int = BLOCK) -> None:
+        self.blocks = split_blocks(image, block)
+        self.next_index = 0
+
+    def run(self) -> Optional[BlockTask]:
+        if self.next_index >= len(self.blocks):
+            return None
+        task = BlockTask(self.next_index, self.blocks[self.next_index])
+        self.next_index += 1
+        return task
+
+
+def reassemble(collected: List[Tuple[int, bytes]], height: int, width: int,
+               block: int = BLOCK) -> np.ndarray:
+    """Rebuild an image from consumer-collected (index, payload) pairs.
+
+    Asserts the pairs arrived in order — the determinacy property the
+    parallel compositions guarantee (and the tests rely on).
+    """
+    indices = [i for i, _ in collected]
+    if indices != sorted(indices):
+        raise AssertionError(
+            "blocks arrived out of order — order-preservation violated")
+    tiles = [decompress_block(payload, block) for _, payload in collected]
+    return join_blocks(tiles, height, width, block)

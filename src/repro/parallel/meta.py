@@ -1,0 +1,169 @@
+"""MetaStatic and MetaDynamic: parallel worker compositions (Figures 16–18).
+
+Both compositions replace a single Worker in the Figure-1 pipeline with N
+workers while remaining, "from the point of view of the producer and
+consumer processes, equivalent to a single worker" — same results, same
+order.
+
+* **MetaStatic** (Figure 16): Scatter deals tasks round-robin; Gather
+  collects round-robin.  Equal task counts per worker → great on
+  homogeneous machines, "limited by the rate at which the slowest worker
+  can execute tasks" on heterogeneous ones.
+* **MetaDynamic** (Figures 17–18): the Direct process dispatches each task
+  to the worker named by the index stream; the indexed merge (Turnstile +
+  Select) emits completion indices back to Direct — so "a new task is
+  distributed to a Worker for every result collected from that Worker" —
+  and re-sequences results into dispatch order for the consumer.  The
+  initial index sequence 0..N−1 is inserted by a Cons process (the
+  ``(n)`` bubble of Figure 18).
+
+Builders return a :class:`ParallelHarness`, keeping the worker processes
+individually addressable so callers can ship them to compute servers
+before starting the network (``harness.distribute(cluster)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.kpn.channel import Channel
+from repro.kpn.network import Network
+from repro.kpn.process import Process
+from repro.parallel.generic import Worker
+from repro.processes.codecs import INT
+from repro.processes.routing import Direct, Gather, Scatter, Select, Turnstile
+from repro.processes.sources import Sequence
+from repro.processes.transforms import Cons
+
+__all__ = ["ParallelHarness", "meta_static", "meta_dynamic"]
+
+WorkerFactory = Callable[[int, "object", "object"], Process]
+
+
+@dataclass
+class ParallelHarness:
+    """Handle over a parallel composition's pieces.
+
+    ``plumbing`` runs where the producer/consumer run; each entry of
+    ``workers`` may run anywhere — ship them with :meth:`distribute`
+    before starting the network.
+    """
+
+    plumbing: List[Process] = field(default_factory=list)
+    workers: List[Process] = field(default_factory=list)
+
+    def all_processes(self) -> List[Process]:
+        return [*self.plumbing, *self.workers]
+
+    def add_to(self, network: Network) -> "ParallelHarness":
+        for p in self.all_processes():
+            network.add(p)
+        return self
+
+    def add_local_to(self, network: Network) -> "ParallelHarness":
+        """Add only the plumbing (workers have been shipped elsewhere)."""
+        for p in self.plumbing:
+            network.add(p)
+        return self
+
+    def distribute(self, cluster, settle: float = 0.0) -> "ParallelHarness":
+        """Ship worker i to cluster server ``i % n_servers``.
+
+        Channel links between the local plumbing and each worker are
+        established automatically during serialization (section 4.2).
+        Workers share no channels with each other, so no settling delay
+        is needed between shipments (``settle`` remains available for
+        callers chaining dependent stages).
+        """
+        import time
+
+        for i, worker in enumerate(self.workers):
+            cluster.client(i % len(cluster.clients)).run(worker)
+            if settle:
+                time.sleep(settle)
+        self.workers = []
+        return self
+
+
+def _default_worker_factory(slowdowns: Optional[List[float]] = None) -> WorkerFactory:
+    def factory(i: int, source, out) -> Process:
+        slow = slowdowns[i] if slowdowns else 0.0
+        return Worker(source, out, slowdown=slow, name=f"Worker-{i}")
+
+    return factory
+
+
+def meta_static(tasks_in, results_out, n_workers: int,
+                network: Optional[Network] = None,
+                worker_factory: Optional[WorkerFactory] = None,
+                slowdowns: Optional[List[float]] = None,
+                channel_capacity: Optional[int] = None) -> ParallelHarness:
+    """Build the statically balanced composition of Figure 16.
+
+    ``tasks_in`` / ``results_out`` are the channel endpoints that would
+    have fed a single worker; the composition is a drop-in replacement.
+    """
+    factory = worker_factory or _default_worker_factory(slowdowns)
+    mk = (network.channel if network is not None
+          else lambda cap=None, name="": Channel(cap or 1024, name=name))
+    w_in = [mk(channel_capacity, name=f"static-in-{i}") for i in range(n_workers)]
+    w_out = [mk(channel_capacity, name=f"static-out-{i}") for i in range(n_workers)]
+    harness = ParallelHarness()
+    harness.plumbing.append(
+        Scatter(tasks_in, [c.get_output_stream() for c in w_in], name="Scatter"))
+    for i in range(n_workers):
+        harness.workers.append(
+            factory(i, w_in[i].get_input_stream(), w_out[i].get_output_stream()))
+    harness.plumbing.append(
+        Gather([c.get_input_stream() for c in w_out], results_out, name="Gather"))
+    return harness
+
+
+def meta_dynamic(tasks_in, results_out, n_workers: int,
+                 network: Optional[Network] = None,
+                 worker_factory: Optional[WorkerFactory] = None,
+                 slowdowns: Optional[List[float]] = None,
+                 channel_capacity: Optional[int] = None) -> ParallelHarness:
+    """Build the dynamically balanced composition of Figures 17–18.
+
+    Internal graph::
+
+        tasks_in ─→ Direct ─→ worker[i] ─→ Turnstile ─→ (pairs) Select ─→ results_out
+                      ↑                        │(index)
+                      └── Cons ←─ Sequence(0..N−1)   (initial dispatch)
+
+    The Turnstile is the composition's single non-determinate process;
+    the Select re-sequences, so the consumer-visible stream is identical
+    to MetaStatic's (the "well behaved" property, section 5).
+    """
+    factory = worker_factory or _default_worker_factory(slowdowns)
+    mk = (network.channel if network is not None
+          else lambda cap=None, name="": Channel(cap or 1024, name=name))
+    w_in = [mk(channel_capacity, name=f"dyn-in-{i}") for i in range(n_workers)]
+    w_out = [mk(channel_capacity, name=f"dyn-out-{i}") for i in range(n_workers)]
+    pairs = mk(channel_capacity, name="dyn-pairs")
+    idx_turn = mk(channel_capacity, name="dyn-idx-turnstile")
+    idx_seed = mk(max(channel_capacity or 1024, 4 * n_workers), name="dyn-idx-seed")
+    idx_direct = mk(channel_capacity, name="dyn-idx-direct")
+    harness = ParallelHarness()
+    # initial dispatch sequence 0..N-1, then completion order (process (n))
+    harness.plumbing.append(
+        Sequence(idx_seed.get_output_stream(), start=0, iterations=n_workers,
+                 codec=INT, name="InitialIndices"))
+    harness.plumbing.append(
+        Cons(idx_seed.get_input_stream(), idx_turn.get_input_stream(),
+             idx_direct.get_output_stream(), name="Cons-idx"))
+    harness.plumbing.append(
+        Direct(tasks_in, idx_direct.get_input_stream(),
+               [c.get_output_stream() for c in w_in], name="Direct"))
+    for i in range(n_workers):
+        harness.workers.append(
+            factory(i, w_in[i].get_input_stream(), w_out[i].get_output_stream()))
+    harness.plumbing.append(
+        Turnstile([c.get_input_stream() for c in w_out],
+                  pairs.get_output_stream(), idx_turn.get_output_stream(),
+                  name="Turnstile"))
+    harness.plumbing.append(
+        Select(pairs.get_input_stream(), results_out, n_workers, name="Select"))
+    return harness

@@ -1,0 +1,90 @@
+"""The Task protocol and active-object conventions (paper section 5.1).
+
+"The computation to be carried out on the data is defined not in the
+processes, but in the objects containing the data itself."  A *task* is
+any object with a no-argument ``run()`` method.  The three roles chain:
+
+* a **producer task**'s ``run()`` returns the next *worker task* (or
+  ``None`` when the supply is exhausted — our explicit end-of-supply
+  signal, where the paper uses iteration limits);
+* a **worker task**'s ``run()`` performs the actual computation and
+  returns a *consumer task* (the result, itself runnable);
+* a **consumer task**'s ``run()`` absorbs the result; it may raise
+  :class:`~repro.kpn.process.StopProcess` (or return :data:`STOP`) to
+  terminate the computation early — how the factorization demo stops once
+  a factor is found.
+
+Tasks are plain data + code: they pickle across servers (with source
+shipping for client-defined classes), which is the whole point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+__all__ = ["Task", "STOP", "CallableTask", "RangeProducerTask", "ResultTask"]
+
+#: sentinel a consumer task may return to stop the consumer process
+STOP = "__repro_stop__"
+
+
+@runtime_checkable
+class Task(Protocol):
+    """Structural protocol: anything with a no-argument ``run``."""
+
+    def run(self) -> Any: ...
+
+
+class CallableTask:
+    """Adapts a picklable callable (+ args) into a Task."""
+
+    def __init__(self, fn, *args, **kwargs) -> None:
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CallableTask({getattr(self.fn, '__name__', self.fn)!r}, …)"
+
+
+class RangeProducerTask:
+    """Producer task emitting ``make_task(i)`` for i in [0, count).
+
+    A ready-made producer for index-parameterized workloads; ``run``
+    returns ``None`` once the range is exhausted.
+    """
+
+    def __init__(self, count: int, make_task) -> None:
+        self.count = count
+        self.make_task = make_task
+        self.next_index = 0
+
+    def run(self) -> Optional[Any]:
+        if self.next_index >= self.count:
+            return None
+        task = self.make_task(self.next_index)
+        self.next_index += 1
+        return task
+
+
+class ResultTask:
+    """The simplest consumer task: carries a value; ``run`` returns it.
+
+    Worker tasks that have no side-effectful delivery step wrap their
+    result in one of these; the generic Consumer runs it and can collect
+    the returned value locally (results must not capture references to
+    client-side state, since they are created on — possibly remote —
+    workers).
+    """
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def run(self) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultTask({self.value!r})"

@@ -1,0 +1,219 @@
+"""Additional embarrassingly-parallel workloads (section 5's genre).
+
+The paper names SETI@home, GIMPS, and Folding@home as the shape of
+problem its framework targets; beyond the factorization experiment and
+the imaging example, this module supplies three more classic instances,
+each expressed purely through the Task protocol so every load-balancing
+composition (pipeline / MetaStatic / MetaDynamic, local or distributed)
+runs them unchanged:
+
+* **Monte Carlo π** — independent pseudo-random batches; results are
+  deterministic per task (seeded), so determinacy holds across modes.
+* **Mandelbrot rows** — per-row escape-time counts with naturally
+  *non-uniform* task costs (rows near the set take longer), the case the
+  paper's dynamic balancing argument is about.
+* **Block matrix multiply** — C = A·B tiled into output blocks; a
+  numpy-backed compute-bound task with a verifiable exact result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PiBatchTask", "PiProducerTask", "estimate_pi_from_results",
+    "MandelbrotRowTask", "MandelbrotProducerTask", "assemble_mandelbrot",
+    "MatmulBlockTask", "MatmulProducerTask", "assemble_matmul",
+]
+
+
+# ---------------------------------------------------------------------------
+# Monte Carlo pi
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PiBatchResult:
+    batch_index: int
+    hits: int
+    samples: int
+
+    def run(self) -> "PiBatchResult":
+        return self
+
+
+class PiBatchTask:
+    """Count dart hits inside the unit quarter-circle; seeded per batch."""
+
+    def __init__(self, batch_index: int, samples: int, seed: int = 0) -> None:
+        self.batch_index = batch_index
+        self.samples = samples
+        self.seed = seed
+
+    def run(self) -> PiBatchResult:
+        rng = random.Random((self.seed << 20) ^ self.batch_index)
+        hits = 0
+        for _ in range(self.samples):
+            x = rng.random()
+            y = rng.random()
+            if x * x + y * y <= 1.0:
+                hits += 1
+        return PiBatchResult(self.batch_index, hits, self.samples)
+
+
+class PiProducerTask:
+    def __init__(self, n_batches: int, samples_per_batch: int = 10000,
+                 seed: int = 0) -> None:
+        self.n_batches = n_batches
+        self.samples_per_batch = samples_per_batch
+        self.seed = seed
+        self.next_index = 0
+
+    def run(self) -> Optional[PiBatchTask]:
+        if self.next_index >= self.n_batches:
+            return None
+        task = PiBatchTask(self.next_index, self.samples_per_batch, self.seed)
+        self.next_index += 1
+        return task
+
+
+def estimate_pi_from_results(results: List[PiBatchResult]) -> float:
+    hits = sum(r.hits for r in results)
+    samples = sum(r.samples for r in results)
+    return 4.0 * hits / samples if samples else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Mandelbrot rows
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MandelbrotRow:
+    row: int
+    counts: Tuple[int, ...]
+
+    def run(self) -> "MandelbrotRow":
+        return self
+
+
+class MandelbrotRowTask:
+    """Escape-time counts for one image row (cost varies wildly by row)."""
+
+    def __init__(self, row: int, width: int, height: int,
+                 x_range: Tuple[float, float] = (-2.0, 0.6),
+                 y_range: Tuple[float, float] = (-1.2, 1.2),
+                 max_iter: int = 80) -> None:
+        self.row = row
+        self.width = width
+        self.height = height
+        self.x_range = x_range
+        self.y_range = y_range
+        self.max_iter = max_iter
+
+    def run(self) -> MandelbrotRow:
+        x0, x1 = self.x_range
+        y0, y1 = self.y_range
+        cy = y0 + (y1 - y0) * self.row / max(1, self.height - 1)
+        counts = []
+        for col in range(self.width):
+            cx = x0 + (x1 - x0) * col / max(1, self.width - 1)
+            zx = zy = 0.0
+            n = 0
+            while zx * zx + zy * zy <= 4.0 and n < self.max_iter:
+                zx, zy = zx * zx - zy * zy + cx, 2 * zx * zy + cy
+                n += 1
+            counts.append(n)
+        return MandelbrotRow(self.row, tuple(counts))
+
+
+class MandelbrotProducerTask:
+    def __init__(self, width: int, height: int, max_iter: int = 80) -> None:
+        self.width = width
+        self.height = height
+        self.max_iter = max_iter
+        self.next_row = 0
+
+    def run(self) -> Optional[MandelbrotRowTask]:
+        if self.next_row >= self.height:
+            return None
+        task = MandelbrotRowTask(self.next_row, self.width, self.height,
+                                 max_iter=self.max_iter)
+        self.next_row += 1
+        return task
+
+
+def assemble_mandelbrot(results: List[MandelbrotRow], width: int,
+                        height: int) -> np.ndarray:
+    image = np.zeros((height, width), dtype=np.int32)
+    seen = set()
+    for r in results:
+        image[r.row, :] = r.counts
+        seen.add(r.row)
+    if seen != set(range(height)):
+        raise AssertionError(f"missing rows: {sorted(set(range(height)) - seen)}")
+    return image
+
+
+# ---------------------------------------------------------------------------
+# block matrix multiply
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MatmulBlock:
+    block_row: int
+    block_col: int
+    data: np.ndarray
+
+    def run(self) -> "MatmulBlock":
+        return self
+
+
+class MatmulBlockTask:
+    """Compute one tile of C = A·B from a row-strip of A and a
+    column-strip of B (the strips travel inside the task)."""
+
+    def __init__(self, block_row: int, block_col: int,
+                 a_strip: np.ndarray, b_strip: np.ndarray) -> None:
+        self.block_row = block_row
+        self.block_col = block_col
+        self.a_strip = np.ascontiguousarray(a_strip)
+        self.b_strip = np.ascontiguousarray(b_strip)
+
+    def run(self) -> MatmulBlock:
+        return MatmulBlock(self.block_row, self.block_col,
+                           self.a_strip @ self.b_strip)
+
+
+class MatmulProducerTask:
+    def __init__(self, a: np.ndarray, b: np.ndarray, block: int = 32) -> None:
+        if a.shape[1] != b.shape[0]:
+            raise ValueError("inner dimensions must agree")
+        self.a = a
+        self.b = b
+        self.block = block
+        self.rows = (a.shape[0] + block - 1) // block
+        self.cols = (b.shape[1] + block - 1) // block
+        self.next_index = 0
+
+    def run(self) -> Optional[MatmulBlockTask]:
+        if self.next_index >= self.rows * self.cols:
+            return None
+        i, j = divmod(self.next_index, self.cols)
+        self.next_index += 1
+        blk = self.block
+        return MatmulBlockTask(
+            i, j,
+            self.a[i * blk:(i + 1) * blk, :],
+            self.b[:, j * blk:(j + 1) * blk])
+
+
+def assemble_matmul(results: List[MatmulBlock], shape: Tuple[int, int],
+                    block: int = 32) -> np.ndarray:
+    c = np.zeros(shape, dtype=results[0].data.dtype if results else float)
+    for r in results:
+        i, j = r.block_row * block, r.block_col * block
+        c[i:i + r.data.shape[0], j:j + r.data.shape[1]] = r.data
+    return c

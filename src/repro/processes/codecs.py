@@ -1,0 +1,133 @@
+"""Element codecs: how typed tokens map onto channel byte streams.
+
+The paper's processes layer ``DataOutputStream`` / ``ObjectOutputStream``
+over the raw channel streams inside each process (section 3.1).  A *codec*
+bundles the two directions of that layering so that typed library
+processes (Add, Scale, Merge, …) can be written once and parameterized by
+element type, while the channels — and any byte-level process spliced in
+between, such as Cons or Duplicate — remain type-agnostic.
+
+Fixed-width codecs (LONG, DOUBLE, INT, BOOL) use Java-compatible
+big-endian encodings; OBJECT uses length-prefixed pickle frames.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+from repro.kpn.data import DataInputStream, DataOutputStream
+from repro.kpn.objects import ObjectInputStream, ObjectOutputStream
+from repro.kpn.streams import InputStream, OutputStream
+
+__all__ = [
+    "Codec", "StructCodec", "ObjectCodec",
+    "LONG", "INT", "DOUBLE", "BOOL", "OBJECT",
+    "get_codec",
+]
+
+
+class Codec:
+    """Encode/decode one element to/from a byte stream."""
+
+    #: bytes per element, or None for variable-width codecs
+    width: int | None = None
+
+    def write(self, out: OutputStream, value: Any) -> None:
+        raise NotImplementedError
+
+    def read(self, source: InputStream) -> Any:
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+
+class StructCodec(Codec):
+    """Fixed-width codec described by a :mod:`struct` format string."""
+
+    def __init__(self, fmt: str, name: str) -> None:
+        self._struct = struct.Struct(fmt)
+        self.width = self._struct.size
+        self.name = name
+
+    def write(self, out: OutputStream, value: Any) -> None:
+        out.write(self._struct.pack(value))
+
+    def read(self, source: InputStream) -> Any:
+        data = _read_exactly(source, self.width)
+        return self._struct.unpack(data)[0]
+
+    def encode(self, value: Any) -> bytes:
+        return self._struct.pack(value)
+
+    def __reduce__(self):
+        # struct.Struct objects are unpicklable; named codecs rebuild via
+        # the registry, ad-hoc ones via their format string.  This is what
+        # lets processes holding codecs migrate between servers.
+        if _BY_NAME.get(self.name) is self:
+            return (get_codec, (self.name,))
+        return (StructCodec, (self._struct.format, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StructCodec {self.name}>"
+
+
+class ObjectCodec(Codec):
+    """Variable-width pickle-framed codec (``ObjectOutputStream`` analogue)."""
+
+    width = None
+    name = "object"
+    _LEN = struct.Struct(">I")
+
+    def __reduce__(self):
+        return (get_codec, ("object",))
+
+    def write(self, out: OutputStream, value: Any) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out.write(self._LEN.pack(len(payload)) + payload)
+
+    def read(self, source: InputStream) -> Any:
+        (length,) = self._LEN.unpack(_read_exactly(source, 4))
+        return pickle.loads(_read_exactly(source, length))
+
+    def encode(self, value: Any) -> bytes:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._LEN.pack(len(payload)) + payload
+
+
+def _read_exactly(source: InputStream, n: int) -> bytes:
+    read_exactly = getattr(source, "read_exactly", None)
+    if read_exactly is not None:
+        return read_exactly(n)
+    parts: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = source.read(remaining)
+        if not chunk:
+            from repro.errors import EndOfStreamError
+            raise EndOfStreamError("end of stream")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+LONG = StructCodec(">q", "long")
+INT = StructCodec(">i", "int")
+DOUBLE = StructCodec(">d", "double")
+BOOL = StructCodec("?", "bool")
+OBJECT = ObjectCodec()
+
+_BY_NAME = {"long": LONG, "int": INT, "double": DOUBLE, "bool": BOOL,
+            "object": OBJECT}
+
+
+def get_codec(spec: "Codec | str") -> Codec:
+    """Resolve a codec instance or name ('long', 'double', 'object', …)."""
+    if isinstance(spec, Codec):
+        return spec
+    try:
+        return _BY_NAME[spec]
+    except KeyError:
+        raise ValueError(f"unknown codec {spec!r}; known: {sorted(_BY_NAME)}")

@@ -1,0 +1,105 @@
+"""Self-reconfiguring processes: the Sieve of Eratosthenes (Figures 7–8).
+
+Reconfiguration is "initiated by processes and not some external agent"
+(section 3.3), which is what preserves determinism: the Sift process
+controls both the rearrangement of channel connections and the activation
+of the Modulo process it inserts, so "the Modulo process reads from the
+channel precisely where the Sift process left off; data elements are
+neither lost nor repeated".
+
+Two definitions, both from the paper:
+
+* :class:`Sift` — iterative (Figure 8): stays in the graph, repeatedly
+  inserting Modulo processes ahead of itself.
+* :class:`RecursiveSift` — recursive (Figure 7): replaces itself with a
+  Modulo process and a fresh Sift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kpn.process import IterativeProcess, StopProcess
+from repro.kpn.streams import InputStream, OutputStream
+from repro.processes.arithmetic import ModuloFilter
+from repro.processes.codecs import Codec, LONG, get_codec
+
+__all__ = ["Sift", "RecursiveSift"]
+
+
+class Sift(IterativeProcess):
+    """Iterative sieve head (paper Figure 8).
+
+    Each step: read a prime, emit it, then insert a ``ModuloFilter`` for
+    that prime *ahead of itself* by (1) handing the filter this process's
+    current input stream, (2) creating a fresh channel from the filter to
+    this process, and (3) activating the filter.  Unconsumed data in the
+    old channel is preserved automatically — the filter simply continues
+    reading the same stream object at the same position.
+    """
+
+    def __init__(self, source: InputStream, out: OutputStream,
+                 iterations: int = 0, codec: "Codec | str" = LONG,
+                 channel_capacity: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.out = out
+        self.codec = get_codec(codec)
+        self.channel_capacity = channel_capacity
+        #: filters inserted so far (diagnostics/tests)
+        self.inserted: list[int] = []
+        self.track(source, out)
+
+    def step(self) -> None:
+        prime = self.codec.read(self.source)
+        self.codec.write(self.out, prime)
+        channel = self.new_channel(self.channel_capacity,
+                                   name=f"{self.name}-mod{prime}")
+        modulo = ModuloFilter(self.source, channel.get_output_stream(), prime,
+                              codec=self.codec, name=f"Modulo-{prime}")
+        # Ownership of the old input moves to the filter; our new input is
+        # the filter's output channel.
+        self.untrack(self.source)
+        self.source = channel.get_input_stream()
+        self.track(self.source)
+        self.inserted.append(prime)
+        self.spawn(modulo)
+
+
+class RecursiveSift(IterativeProcess):
+    """Recursive sieve head (paper Figure 7).
+
+    One step: read a prime, emit it, then *replace itself* with a
+    ``ModuloFilter`` (fed by this process's input) and a new
+    ``RecursiveSift`` (writing to this process's output), and stop.  All
+    stream ownership transfers to the replacements, so this process's
+    ``on_stop`` must not close anything — hence the ``untrack`` calls.
+    """
+
+    def __init__(self, source: InputStream, out: OutputStream,
+                 codec: "Codec | str" = LONG,
+                 channel_capacity: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(iterations=0, name=name)
+        self.source = source
+        self.out = out
+        self.codec = get_codec(codec)
+        self.channel_capacity = channel_capacity
+        self.track(source, out)
+
+    def step(self) -> None:
+        prime = self.codec.read(self.source)
+        self.codec.write(self.out, prime)
+        channel = self.new_channel(self.channel_capacity,
+                                   name=f"{self.name}-mod{prime}")
+        modulo = ModuloFilter(self.source, channel.get_output_stream(), prime,
+                              codec=self.codec, name=f"Modulo-{prime}")
+        replacement = RecursiveSift(channel.get_input_stream(), self.out,
+                                    codec=self.codec,
+                                    channel_capacity=self.channel_capacity,
+                                    name=f"Sift-after-{prime}")
+        self.untrack(self.source, self.out)
+        self.spawn(modulo)
+        self.spawn(replacement)
+        raise StopProcess

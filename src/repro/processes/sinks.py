@@ -1,0 +1,76 @@
+"""Sink processes: they only consume.
+
+:class:`Print` is the paper's terminal process (Figures 2, 7, 11); its
+iteration limit is the canonical downstream-termination trigger of section
+3.4 ("impose an iteration limit on the Print process so that it stops
+after printing 100 numbers").  :class:`Collect` is the testing-friendly
+variant that appends into a caller-supplied list instead of printing.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, List, Optional, TextIO
+
+from repro.kpn.process import IterativeProcess
+from repro.kpn.streams import InputStream
+from repro.processes.codecs import Codec, LONG, get_codec
+
+__all__ = ["Print", "Collect", "Discard"]
+
+
+class Print(IterativeProcess):
+    """Prints each element of its input stream."""
+
+    def __init__(self, source: InputStream, iterations: int = 0,
+                 codec: "Codec | str" = LONG, file: Optional[TextIO] = None,
+                 prefix: str = "", name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.codec = get_codec(codec)
+        self.file = file
+        self.prefix = prefix
+        self.track(source)
+
+    def step(self) -> None:
+        value = self.codec.read(self.source)
+        print(f"{self.prefix}{value}", file=self.file or sys.stdout)
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        if state.get("file") is not None:  # file handles do not migrate
+            state["file"] = None
+        return state
+
+
+class Collect(IterativeProcess):
+    """Appends each element to ``into`` (a list shared with the caller).
+
+    The workhorse of the test suite: run a network, then assert on the
+    collected history — which, by determinacy, is unique.
+    """
+
+    def __init__(self, source: InputStream, into: List[Any], iterations: int = 0,
+                 codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.into = into
+        self.codec = get_codec(codec)
+        self.track(source)
+
+    def step(self) -> None:
+        self.into.append(self.codec.read(self.source))
+
+
+class Discard(IterativeProcess):
+    """Consumes and drops elements (keeps upstream from blocking forever)."""
+
+    def __init__(self, source: InputStream, iterations: int = 0,
+                 codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:
+        super().__init__(iterations=iterations, name=name)
+        self.source = source
+        self.codec = get_codec(codec)
+        self.track(source)
+
+    def step(self) -> None:
+        self.codec.read(self.source)

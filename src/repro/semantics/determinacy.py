@@ -1,0 +1,137 @@
+"""Determinacy oracle: Kahn's theorem made executable (paper section 2).
+
+Determinacy says "the results of a computation are unique and correct
+whether the program is executed on a computer with a single processor, a
+computer with multiple processors, or many computers distributed across a
+network".  Two executable consequences, both used by the test suite:
+
+1. **Schedule independence** — running the same operational network under
+   radically different channel capacities (capacity 1 serializes almost
+   everything; capacity 2^20 lets producers sprint ahead) must give
+   byte-identical histories.  :func:`histories_under_capacities` runs a
+   builder across a capacity sweep and returns the outputs.
+
+2. **Operational = denotational** — the operational history must equal
+   the least fixed point of the network's equations.
+   :func:`fibonacci_equations` and :func:`hamming_equations` build the
+   denotational models of the paper's two feedback networks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.semantics.fixpoint import EquationNetwork
+from repro.semantics.kernels import (k_add, k_cons, k_constant, k_duplicate,
+                                     k_ordered_merge, k_scale, k_sequence,
+                                     k_sieve)
+
+__all__ = [
+    "histories_under_capacities",
+    "fibonacci_equations",
+    "hamming_equations",
+    "sieve_equations",
+    "fibonacci_reference",
+    "hamming_reference",
+    "primes_reference",
+]
+
+
+def histories_under_capacities(builder: Callable[[int], "object"],
+                               capacities: Sequence[int] = (16, 64, 1024, 1 << 16),
+                               timeout: float = 60.0) -> List[List[Any]]:
+    """Run ``builder(capacity)`` → BuiltNetwork for each capacity; collect.
+
+    Every returned history must be identical for a determinate network —
+    the assertion is left to the caller so failures show the differing
+    histories.
+    """
+    results = []
+    for cap in capacities:
+        built = builder(cap)
+        results.append(list(built.run(timeout=timeout)))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# denotational models of the paper's feedback networks
+# ---------------------------------------------------------------------------
+
+def fibonacci_equations(max_len: int = 40) -> EquationNetwork:
+    """Equations of Figures 2/6: B = cons(1,G), F = cons(1,B), G = B + F.
+
+    Solving yields stream ``F`` = 1, 1, 2, 3, 5, … — the history the
+    operational Fibonacci network must print.
+    """
+    eq = EquationNetwork(max_len=max_len)
+    eq.node("seed-b", k_constant(1, 1), [], ["ab"])
+    eq.node("cons-b", k_cons, ["ab", "gb"], ["b"])
+    eq.node("dup-b", k_duplicate(2), ["b"], ["ed", "eg"])
+    eq.node("add", k_add, ["eg", "fg"], ["gb"])
+    eq.node("seed-f", k_constant(1, 1), [], ["cd"])
+    eq.node("cons-f", k_cons, ["cd", "ed"], ["f"])
+    eq.node("dup-f", k_duplicate(2), ["f"], ["fh", "fg"])
+    return eq
+
+
+def hamming_equations(max_len: int = 60) -> EquationNetwork:
+    """Equations of Figure 12: H = cons(1, merge(2H, merge(3H, 5H)))."""
+    eq = EquationNetwork(max_len=max_len)
+    eq.node("one", k_constant(1, 1), [], ["seed"])
+    eq.node("cons", k_cons, ["seed", "merged"], ["h"])
+    eq.node("dup", k_duplicate(4), ["h"], ["hx2", "hx3", "hx5", "hout"])
+    eq.node("s2", k_scale(2), ["hx2"], ["m2"])
+    eq.node("s3", k_scale(3), ["hx3"], ["m3"])
+    eq.node("s5", k_scale(5), ["hx5"], ["m5"])
+    eq.node("merge-a", k_ordered_merge(True), ["m2", "m3"], ["m23"])
+    eq.node("merge-b", k_ordered_merge(True), ["m23", "m5"], ["merged"])
+    return eq
+
+
+def sieve_equations(below: int, max_len: int = 1000) -> EquationNetwork:
+    """Equations of Figure 7 with the whole Sift subgraph as one kernel."""
+    eq = EquationNetwork(max_len=max_len)
+    eq.node("source", k_sequence(2, max(0, below - 2)), [], ["feed"])
+    eq.node("sift", k_sieve, ["feed"], ["primes"])
+    return eq
+
+
+# ---------------------------------------------------------------------------
+# closed-form references (independent of both implementations)
+# ---------------------------------------------------------------------------
+
+def fibonacci_reference(count: int) -> List[int]:
+    out, a, b = [], 1, 1
+    for _ in range(count):
+        out.append(a)
+        a, b = b, a + b
+    return out
+
+
+def hamming_reference(count: int) -> List[int]:
+    import heapq
+
+    out: List[int] = []
+    heap = [1]
+    seen = {1}
+    while len(out) < count:
+        x = heapq.heappop(heap)
+        out.append(x)
+        for k in (2, 3, 5):
+            if x * k not in seen:
+                seen.add(x * k)
+                heapq.heappush(heap, x * k)
+    return out
+
+
+def primes_reference(below: int | None = None, count: int | None = None) -> List[int]:
+    out: List[int] = []
+    candidate = 2
+    while True:
+        if below is not None and candidate >= below:
+            return out
+        if all(candidate % p for p in out):
+            out.append(candidate)
+            if count is not None and len(out) >= count:
+                return out
+        candidate += 1

@@ -1,0 +1,133 @@
+"""Least-fixed-point solver for process-network equations (section 2.2).
+
+A network is "a set of equations with functions operating on sets of
+streams"; composing all process functions gives one continuous function
+``f`` over the tuple of all streams, and the network's meaning is the
+unique least solution of ``X = f(X)``, computed by Kleene iteration::
+
+    X_0 = ⊥,   X_{j+1} = f(X_j),   meaning = ⊔_j X_j
+
+:class:`EquationNetwork` lets you declare named streams and attach one
+producing kernel per stream (single-producer, like operational channels),
+then solves by exactly that iteration.  Because every kernel is monotonic,
+each iterate extends the last; iteration stops at a fixed point (a
+terminating network) or at ``max_len`` elements per stream (the finite
+prefix of an infinite behaviour — Hamming, Fibonacci).
+
+The determinacy tests run the *operational* network and assert its channel
+histories equal the solved fixed point — Kahn's theorem made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.semantics.kernels import Kernel
+from repro.semantics.streams import prefix_le
+
+__all__ = ["EquationNetwork", "FixpointResult", "NonMonotonicError"]
+
+
+class NonMonotonicError(RuntimeError):
+    """An iterate retracted previously produced output.
+
+    Kleene iteration requires ``X_j ⊑ X_{j+1}``; a violation means some
+    kernel is not monotonic — exactly the kind of host-language rule
+    breaking (section 1: shared variables, peeking at absence of data)
+    that destroys determinacy.
+    """
+
+
+@dataclass
+class _Node:
+    name: str
+    kernel: Kernel
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+
+@dataclass
+class FixpointResult:
+    """Solution of the network equations."""
+
+    #: stream name → solved history (a finite prefix if truncated)
+    streams: Dict[str, Tuple[Any, ...]]
+    #: number of Kleene iterations performed
+    iterations: int
+    #: True if a genuine fixed point was reached (nothing changed in the
+    #: final iteration); False if the per-stream length bound stopped us.
+    converged: bool
+
+    def __getitem__(self, name: str) -> Tuple[Any, ...]:
+        return self.streams[name]
+
+
+class EquationNetwork:
+    """Builder + solver for a system of stream equations."""
+
+    def __init__(self, max_len: int = 1000, max_iterations: int = 100000) -> None:
+        self.max_len = max_len
+        self.max_iterations = max_iterations
+        self._nodes: List[_Node] = []
+        self._streams: set[str] = set()
+        self._produced: set[str] = set()
+
+    # -- construction ------------------------------------------------------
+    def stream(self, name: str) -> str:
+        """Declare a stream (idempotent); returns the name for chaining."""
+        self._streams.add(name)
+        return name
+
+    def node(self, name: str, kernel: Kernel, inputs: Sequence[str],
+             outputs: Sequence[str]) -> None:
+        """Attach a process kernel: reads ``inputs``, defines ``outputs``.
+
+        Each stream may have at most one producer — the single-producer
+        rule the operational channels also enforce by construction.
+        """
+        for s in (*inputs, *outputs):
+            self.stream(s)
+        for s in outputs:
+            if s in self._produced:
+                raise ValueError(f"stream {s!r} already has a producer")
+            self._produced.add(s)
+        self._nodes.append(_Node(name, kernel, tuple(inputs), tuple(outputs)))
+
+    # -- solving ----------------------------------------------------------
+    def solve(self) -> FixpointResult:
+        state: Dict[str, Tuple[Any, ...]] = {s: () for s in self._streams}
+        iterations = 0
+        truncated_any = False
+        while iterations < self.max_iterations:
+            iterations += 1
+            new_state = dict(state)
+            for node in self._nodes:
+                ins = tuple(state[s] for s in node.inputs)
+                outs = node.kernel(ins)
+                if len(outs) != len(node.outputs):
+                    raise ValueError(
+                        f"kernel {node.name!r} returned {len(outs)} streams, "
+                        f"declared {len(node.outputs)}")
+                for stream_name, produced in zip(node.outputs, outs):
+                    if len(produced) > self.max_len:
+                        truncated_any = True
+                    truncated = tuple(produced[: self.max_len])
+                    if not prefix_le(new_state[stream_name], truncated):
+                        # A producer must extend, never retract.
+                        if not prefix_le(truncated, new_state[stream_name]):
+                            raise NonMonotonicError(
+                                f"kernel {node.name!r} retracted output on "
+                                f"stream {stream_name!r}")
+                        # shorter but consistent: keep the longer history
+                        truncated = new_state[stream_name]
+                    new_state[stream_name] = truncated
+            if new_state == state:
+                return FixpointResult(state, iterations,
+                                      converged=not truncated_any)
+            state = new_state
+        return FixpointResult(state, iterations, converged=False)
+
+    # -- convenience --------------------------------------------------------
+    def solve_stream(self, name: str) -> Tuple[Any, ...]:
+        return self.solve()[name]

@@ -1,0 +1,277 @@
+"""Random process-network generation for property-based testing.
+
+Kahn's theorem quantifies over *all* networks of continuous processes;
+testing it on three hand-picked graphs is weak evidence.  This module
+generates arbitrary layered networks from the standard library —
+sources, maps, scales, filters, binary ops, duplicators, ordered merges,
+delays — from a compact :class:`NetSpec` that hypothesis can shrink, and
+builds the same topology twice:
+
+* operationally (:func:`build_operational`) as a ready-to-run Network
+  with a Collect on every terminal stream;
+* denotationally, implicitly, since every generated process has a
+  registered kernel — :func:`repro.semantics.compile.compile_network`
+  accepts the built network directly.
+
+The flagship property (see ``tests/semantics/test_randomnets.py``): for
+every generated spec, the operational histories equal the compiled least
+fixed point, under any channel capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.kpn.network import Network
+from repro.processes.arithmetic import Add, Multiply, Subtract
+from repro.processes.dsp import Accumulate, Delay
+from repro.processes.merges import OrderedMerge
+from repro.processes.sinks import Collect
+from repro.processes.sources import FromIterable
+from repro.processes.transforms import Duplicate, MapProcess, Scale
+
+__all__ = ["NetSpec", "NodeSpec", "random_spec", "build_operational",
+           "reference_evaluate"]
+
+#: unary operation table (name → python fn); all monotone-friendly and
+#: picklable (module-level)
+def _inc(x):
+    return x + 1
+
+
+def _neg(x):
+    return -x
+
+
+def _square_clip(x):
+    return (x * x) % 1000
+
+
+UNARY_OPS = {"inc": _inc, "neg": _neg, "sqclip": _square_clip}
+BINARY_OPS = {"add": Add, "sub": Subtract, "mul": Multiply}
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One process in the generated graph.
+
+    kind ∈ {source, map, scale, dup, binary, merge, delay, accumulate}
+    inputs are indices of *streams* created earlier (single-consumer
+    discipline is enforced by the generator: every stream is consumed at
+    most once).
+    """
+
+    kind: str
+    inputs: Tuple[int, ...] = ()
+    param: Any = None
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """A whole generated network; nodes are topologically ordered."""
+
+    nodes: Tuple[NodeSpec, ...]
+
+    def n_streams(self) -> int:
+        count = 0
+        for node in self.nodes:
+            count += 2 if node.kind == "dup" else 1
+        return count
+
+
+def random_spec(rng: random.Random, max_nodes: int = 10,
+                max_source_len: int = 8) -> NetSpec:
+    """Generate a well-formed spec: acyclic, single-producer/consumer."""
+    nodes: List[NodeSpec] = []
+    open_streams: List[int] = []   # stream indices not yet consumed
+    next_stream = 0
+
+    def emit(n: int) -> List[int]:
+        nonlocal next_stream
+        created = list(range(next_stream, next_stream + n))
+        next_stream += n
+        open_streams.extend(created)
+        return created
+
+    def consume(k: int) -> List[int]:
+        picked = rng.sample(open_streams, k)
+        for s in picked:
+            open_streams.remove(s)
+        return picked
+
+    # at least one source
+    n_nodes = rng.randint(1, max_nodes)
+    for i in range(n_nodes):
+        want_source = not open_streams or rng.random() < 0.25
+        if want_source:
+            length = rng.randint(0, max_source_len)
+            items = tuple(rng.randint(-20, 20) for _ in range(length))
+            nodes.append(NodeSpec("source", (), items))
+            emit(1)
+            continue
+        kind = rng.choice(["map", "scale", "dup", "binary", "merge",
+                           "delay", "accumulate"])
+        if kind in ("binary", "merge") and len(open_streams) < 2:
+            kind = "map"
+        if kind == "map":
+            (src,) = consume(1)
+            nodes.append(NodeSpec("map", (src,), rng.choice(list(UNARY_OPS))))
+            emit(1)
+        elif kind == "scale":
+            (src,) = consume(1)
+            nodes.append(NodeSpec("scale", (src,), rng.randint(-3, 3)))
+            emit(1)
+        elif kind == "dup":
+            (src,) = consume(1)
+            nodes.append(NodeSpec("dup", (src,)))
+            emit(2)
+        elif kind == "binary":
+            a, b = consume(2)
+            nodes.append(NodeSpec("binary", (a, b),
+                                  rng.choice(list(BINARY_OPS))))
+            emit(1)
+        elif kind == "merge":
+            a, b = consume(2)
+            nodes.append(NodeSpec("merge", (a, b)))
+            emit(1)
+        elif kind == "delay":
+            (src,) = consume(1)
+            initial = tuple(rng.randint(-5, 5)
+                            for _ in range(rng.randint(0, 3)))
+            nodes.append(NodeSpec("delay", (src,), initial))
+            emit(1)
+        else:  # accumulate
+            (src,) = consume(1)
+            nodes.append(NodeSpec("accumulate", (src,), rng.randint(-5, 5)))
+            emit(1)
+    return NetSpec(tuple(nodes))
+
+
+def build_operational(spec: NetSpec, network: Optional[Network] = None,
+                      capacity: Optional[int] = None
+                      ) -> Tuple[Network, Dict[int, list]]:
+    """Instantiate the spec; terminal streams get Collect sinks.
+
+    Returns the network and {stream index: collected list}.  Merge nodes
+    sort-normalize their inputs' semantics by pre-sorting sources?  No —
+    merges receive whatever order upstream produces; the reference
+    evaluator mirrors the operational OrderedMerge exactly, sorted or
+    not (both consume by comparison), so the comparison stays valid.
+    """
+    net = network or Network(name="randomnet")
+    streams: List = []   # per stream index: channel
+    consumed: set[int] = set()
+
+    def new_channel():
+        ch = net.channel(capacity, name=f"rn-{len(streams)}")
+        streams.append(ch)
+        return ch
+
+    for n_index, node in enumerate(spec.nodes):
+        ins = [streams[i].get_input_stream() for i in node.inputs]
+        consumed.update(node.inputs)
+        name = f"{node.kind}-{n_index}"
+        if node.kind == "source":
+            ch = new_channel()
+            net.add(FromIterable(ch.get_output_stream(), list(node.param),
+                                 codec="long", name=name))
+        elif node.kind == "map":
+            ch = new_channel()
+            net.add(MapProcess(ins[0], ch.get_output_stream(),
+                               UNARY_OPS[node.param], codec="long", name=name))
+        elif node.kind == "scale":
+            ch = new_channel()
+            net.add(Scale(ins[0], ch.get_output_stream(), node.param,
+                          codec="long", name=name))
+        elif node.kind == "dup":
+            a, b = new_channel(), new_channel()
+            # resilient mode: a short-lived sibling consumer (zipped with a
+            # shorter stream) must not truncate the other branch — the
+            # Kahn-faithful fan-out the determinacy property quantifies over
+            net.add(Duplicate(ins[0], [a.get_output_stream(),
+                                       b.get_output_stream()],
+                              resilient=True, name=name))
+        elif node.kind == "binary":
+            ch = new_channel()
+            net.add(BINARY_OPS[node.param](ins[0], ins[1],
+                                           ch.get_output_stream(),
+                                           codec="long", name=name))
+        elif node.kind == "merge":
+            ch = new_channel()
+            net.add(OrderedMerge(ins[0], ins[1], ch.get_output_stream(),
+                                 codec="long", name=name))
+        elif node.kind == "delay":
+            ch = new_channel()
+            net.add(Delay(ins[0], ch.get_output_stream(), list(node.param),
+                          codec="long", name=name))
+        else:  # accumulate
+            ch = new_channel()
+            net.add(Accumulate(ins[0], ch.get_output_stream(),
+                               initial=node.param, codec="long", name=name))
+
+    sinks: Dict[int, list] = {}
+    for idx, ch in enumerate(streams):
+        if idx not in consumed:
+            out: list = []
+            sinks[idx] = out
+            net.add(Collect(ch.get_input_stream(), out, codec="long",
+                            name=f"sink-{idx}"))
+    return net, sinks
+
+
+def reference_evaluate(spec: NetSpec) -> Dict[int, List[int]]:
+    """Pure-Python evaluation of the spec (acyclic → single pass).
+
+    An independent third implementation — neither the runtime nor the
+    Kleene solver — used to triangulate both.
+    """
+    values: Dict[int, List[int]] = {}
+    next_stream = 0
+
+    def put(vals: List[int]) -> int:
+        nonlocal next_stream
+        values[next_stream] = vals
+        next_stream += 1
+        return next_stream - 1
+
+    for node in spec.nodes:
+        ins = [values[i] for i in node.inputs]
+        if node.kind == "source":
+            put(list(node.param))
+        elif node.kind == "map":
+            fn = UNARY_OPS[node.param]
+            put([fn(x) for x in ins[0]])
+        elif node.kind == "scale":
+            put([x * node.param for x in ins[0]])
+        elif node.kind == "dup":
+            put(list(ins[0]))
+            put(list(ins[0]))
+        elif node.kind == "binary":
+            op = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+                  "mul": lambda a, b: a * b}[node.param]
+            put([op(a, b) for a, b in zip(ins[0], ins[1])])
+        elif node.kind == "merge":
+            out, i, j = [], 0, 0
+            a, b = ins
+            while i < len(a) and j < len(b):
+                if a[i] < b[j]:
+                    out.append(a[i]); i += 1
+                elif b[j] < a[i]:
+                    out.append(b[j]); j += 1
+                else:
+                    out.append(a[i]); i += 1; j += 1
+            out.extend(a[i:])
+            out.extend(b[j:])
+            put(out)
+        elif node.kind == "delay":
+            put(list(node.param) + list(ins[0]))
+        else:  # accumulate
+            out = []
+            acc = node.param
+            for x in ins[0]:
+                acc += x
+                out.append(acc)
+            put(out)
+    return values

@@ -1,0 +1,117 @@
+"""Streams as a complete partial order (paper section 2.1).
+
+Denotationally a stream is a finite or infinite sequence of data elements
+ordered by *prefix*: ``X ⊑ Y`` iff X is a prefix of Y, with the empty
+stream ⊥ below everything.  This module gives the finite approximants —
+plain tuples — together with the order-theoretic toolkit the fixed-point
+solver and the property tests use: prefix tests, chain checks, least upper
+bounds, and the classic continuous kernels ``first``/``rest``/``cons``
+with their ⊥ conventions.
+
+Infinite streams never materialize: Kleene iteration works with finite
+prefixes, and :mod:`repro.semantics.fixpoint` bounds stream growth, so
+every value here is a tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+__all__ = [
+    "BOTTOM", "prefix_le", "is_chain", "lub", "glb",
+    "first", "rest", "cons", "take",
+    "tuple_prefix_le", "tuples_lub",
+]
+
+#: the empty stream ⊥ — prefix of every stream
+BOTTOM: Tuple[Any, ...] = ()
+
+Stream = Tuple[Any, ...]
+
+
+def prefix_le(x: Sequence[Any], y: Sequence[Any]) -> bool:
+    """``x ⊑ y``: is x a prefix of (or equal to) y?"""
+    return len(x) <= len(y) and tuple(y[: len(x)]) == tuple(x)
+
+
+def is_chain(streams: Sequence[Sequence[Any]]) -> bool:
+    """Is the sequence increasing, ``X1 ⊑ X2 ⊑ …``?"""
+    return all(prefix_le(a, b) for a, b in zip(streams, streams[1:]))
+
+
+def lub(chain: Sequence[Sequence[Any]]) -> Stream:
+    """Least upper bound ⊔ of an increasing chain (its longest element).
+
+    Raises ``ValueError`` if the input is not a chain — the lub of an
+    arbitrary set of streams need not exist in the prefix order.
+    """
+    if not chain:
+        return BOTTOM
+    if not is_chain(chain):
+        raise ValueError("lub requires an increasing chain")
+    return tuple(max(chain, key=len))
+
+
+def glb(x: Sequence[Any], y: Sequence[Any]) -> Stream:
+    """Greatest lower bound: the longest common prefix.
+
+    Unlike lubs, glbs always exist in the prefix order; the determinacy
+    oracle uses them to measure where two histories first disagree.
+    """
+    n = 0
+    for a, b in zip(x, y):
+        if a != b:
+            break
+        n += 1
+    return tuple(x[:n])
+
+
+# ---------------------------------------------------------------------------
+# the continuous example kernels of section 2.2
+# ---------------------------------------------------------------------------
+
+def first(u: Sequence[Any]) -> Stream:
+    """first(U): the stream holding U's first element; first(⊥) = ⊥."""
+    return tuple(u[:1])
+
+
+def rest(u: Sequence[Any]) -> Stream:
+    """rest(U): U without its first element; rest(⊥) = ⊥."""
+    return tuple(u[1:])
+
+
+def cons(x: Any, u: Sequence[Any]) -> Stream:
+    """cons(x, U): insert element x at the head of U.
+
+    Per the paper, ``cons(⊥, U) = ⊥`` (no element yet) and
+    ``cons(x, ⊥) = [x]``.  The "no element" case is signalled by
+    ``x is BOTTOM`` — i.e. passing the empty stream where an element is
+    expected.
+    """
+    if x is BOTTOM:
+        return BOTTOM
+    return (x,) + tuple(u)
+
+
+def take(u: Sequence[Any], n: int) -> Stream:
+    """The length-n prefix of U (the finite approximant of order n)."""
+    return tuple(u[:n])
+
+
+# ---------------------------------------------------------------------------
+# p-tuples of streams (the set S^p of section 2.2)
+# ---------------------------------------------------------------------------
+
+def tuple_prefix_le(xs: Sequence[Sequence[Any]], ys: Sequence[Sequence[Any]]) -> bool:
+    """Pointwise prefix order on S^p: ``X ⊑ Y`` iff ``Xi ⊑ Yi`` for all i."""
+    if len(xs) != len(ys):
+        raise ValueError("tuples must have the same arity")
+    return all(prefix_le(x, y) for x, y in zip(xs, ys))
+
+
+def tuples_lub(chain: Sequence[Sequence[Sequence[Any]]]) -> tuple[Stream, ...]:
+    """Least upper bound of an increasing chain in S^p (pointwise)."""
+    if not chain:
+        return ()
+    arity = len(chain[0])
+    return tuple(lub([element[i] for element in chain]) for i in range(arity))

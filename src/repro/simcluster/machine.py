@@ -1,0 +1,98 @@
+"""The paper's machine inventory (section 5.2, Table 1).
+
+"A total of 25 computers with 34 CPUs were used in our experiments: 1 in
+class A, 6 in class B, 15 in class C, 2 in class D, and 1 in class E."
+Class E is the 8-way Xeon box; to reach 34 CPUs the two class-D machines
+must be dual-CPU (1 + 6 + 15 + 2·2 + 8 = 34).  The D row of Table 1 lost
+its speed/CPU text in the paper scan; its time (22.78 min) puts its speed
+at 22.50/22.78 ≈ 0.99, i.e. a 1 GHz-class Pentium III pair — we document
+that reconstruction here and in EXPERIMENTS.md.
+
+Speeds are normalized to a 1 GHz Pentium III (class C = 1.00), exactly as
+in the paper.  Worker ordering follows the paper: "CPUs in the fastest
+categories, classes A and B, are used first and CPUs from slower
+categories, classes C through E, are used as additional workers are
+needed" — giving the ideal-speed curve its inflection points at workers
+7→8 (first class-C CPU) and 26→27 (first class-E CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["CpuClass", "Cpu", "PAPER_CLASSES", "paper_cpu_inventory",
+           "workers_fastest_first", "homogeneous_inventory"]
+
+
+@dataclass(frozen=True)
+class CpuClass:
+    """One row of Table 1."""
+
+    name: str
+    #: speed normalized to a 1 GHz Pentium III
+    speed: float
+    #: the paper's CPU description
+    description: str
+    #: computers of this class × CPUs per computer
+    computers: int
+    cpus_per_computer: int
+
+    @property
+    def total_cpus(self) -> int:
+        return self.computers * self.cpus_per_computer
+
+
+@dataclass(frozen=True)
+class Cpu:
+    """One schedulable CPU in the simulated lab."""
+
+    index: int
+    cpu_class: CpuClass
+
+    @property
+    def speed(self) -> float:
+        return self.cpu_class.speed
+
+
+#: Table 1, with the reconstructed class-D row.
+PAPER_CLASSES: List[CpuClass] = [
+    CpuClass("A", 1.93, "2.4 GHz Pentium 4", computers=1, cpus_per_computer=1),
+    CpuClass("B", 1.71, "2.2 GHz Pentium 4", computers=6, cpus_per_computer=1),
+    CpuClass("C", 1.00, "1.0 GHz Pentium III", computers=15, cpus_per_computer=1),
+    CpuClass("D", 0.99, "2 x 1.0 GHz Pentium III (reconstructed)",
+             computers=2, cpus_per_computer=2),
+    CpuClass("E", 0.80, "8 x 700 MHz Pentium III Xeon",
+             computers=1, cpus_per_computer=8),
+]
+
+
+def paper_cpu_inventory() -> List[Cpu]:
+    """All 34 CPUs, grouped by class in A→E order."""
+    cpus: List[Cpu] = []
+    for cls in PAPER_CLASSES:
+        for _ in range(cls.total_cpus):
+            cpus.append(Cpu(len(cpus), cls))
+    assert len(cpus) == 34, "inventory must match the paper's 34 CPUs"
+    return cpus
+
+
+def workers_fastest_first(n_workers: int) -> List[Cpu]:
+    """The first ``n_workers`` CPUs in the paper's allocation order.
+
+    PAPER_CLASSES is already sorted fastest-first, so the inventory order
+    *is* the allocation order: worker 1 = the class-A CPU, workers 2–7 =
+    class B, 8–22 = class C, 23–26 = class D, 27–34 = class E.
+    """
+    inventory = paper_cpu_inventory()
+    if not 1 <= n_workers <= len(inventory):
+        raise ValueError(f"n_workers must be in 1..{len(inventory)}")
+    return inventory[:n_workers]
+
+
+def homogeneous_inventory(n: int, speed: float = 1.0) -> List[Cpu]:
+    """A control inventory: n identical CPUs (for the static=dynamic
+    ablation — dynamic balancing's advantage should vanish)."""
+    cls = CpuClass("H", speed, f"homogeneous x{n}", computers=n,
+                   cpus_per_computer=1)
+    return [Cpu(i, cls) for i in range(n)]

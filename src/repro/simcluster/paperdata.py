@@ -1,0 +1,60 @@
+"""The paper's published numbers, verbatim (Tables 1 and 2).
+
+Kept in one place so tests, benchmarks, and EXPERIMENTS.md all compare
+against identical ground truth.  Times in minutes; speeds normalized to a
+1 GHz Pentium III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["TABLE1", "Table1Row", "TABLE2", "Table2Row", "TASKS", "BATCH"]
+
+#: the experiment's scale (section 5.2)
+TASKS = 2048
+BATCH = 32
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    cpu_class: str
+    time_min: float
+    #: None for class D, whose speed cell is unreadable in the paper text
+    speed: Optional[float]
+    description: str
+
+
+TABLE1: List[Table1Row] = [
+    Table1Row("A", 11.63, 1.93, "2.4 GHz Pentium 4"),
+    Table1Row("B", 13.13, 1.71, "2.2 GHz Pentium 4"),
+    Table1Row("C", 22.50, 1.00, "1.0 GHz Pentium III"),
+    Table1Row("D", 22.78, None, "(cell unreadable in source; ~0.99)"),
+    Table1Row("E", 28.14, 0.80, "8 x 700 MHz Pentium III Xeon"),
+]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    workers: int
+    ideal_time: float
+    ideal_speed: float
+    static_time: float
+    static_speed: float
+    dynamic_time: float
+    dynamic_speed: float
+
+
+TABLE2: List[Table2Row] = [
+    Table2Row(1, 11.63, 1.93, 12.15, 1.85, 12.39, 1.82),
+    Table2Row(2, 6.17, 3.65, 6.93, 3.25, 6.57, 3.43),
+    Table2Row(4, 3.18, 7.08, 3.55, 6.34, 3.44, 6.54),
+    Table2Row(8, 1.70, 13.22, 3.03, 7.42, 1.87, 12.02),
+    Table2Row(16, 1.06, 21.22, 1.63, 13.80, 1.20, 18.73),
+    Table2Row(32, 0.63, 35.97, 1.00, 22.42, 0.76, 29.77),
+]
+
+
+def table2_by_workers() -> Dict[int, Table2Row]:
+    return {row.workers: row for row in TABLE2}

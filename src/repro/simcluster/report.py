@@ -1,0 +1,106 @@
+"""One-shot evaluation report: every regenerated artifact as markdown.
+
+``generate_report()`` reruns the whole simulated evaluation — Table 1,
+Table 2, the Figure 19/20 sweeps, the homogeneous and variance ablations
+— and renders a single markdown document with the paper's published
+numbers alongside the model's.  Used by ``python -m repro.cli experiment
+report`` and by tests that pin the report's claims to the simulator's
+actual output (documentation that cannot rot).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simcluster.experiment import (homogeneous_control, ideal_speed,
+                                         ideal_time, run_parallel,
+                                         sequential_times, sweep_workers,
+                                         table2_rows)
+from repro.simcluster.paperdata import TABLE2, table2_by_workers
+from repro.simcluster.workload import variance_experiment
+
+__all__ = ["generate_report"]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def generate_report(sweep: bool = True) -> str:
+    """The full evaluation as a markdown string."""
+    parts: List[str] = ["# Regenerated evaluation report", ""]
+
+    # Table 1
+    parts.append("## Table 1 — sequential execution (minutes)")
+    rows = [[r["class"], f"{r['speed']:.2f}", f"{r['time_model']:.2f}",
+             f"{r['time_paper']:.2f}",
+             f"{(r['time_model'] / r['time_paper'] - 1) * 100:+.1f}%"]
+            for r in sequential_times()]
+    parts += _md_table(["class", "speed", "model", "paper", "Δ"], rows)
+    parts.append("")
+
+    # Table 2
+    parts.append("## Table 2 — parallel execution (minutes)")
+    paper = table2_by_workers()
+    rows = []
+    for row in table2_rows():
+        p = paper[row.workers]
+        rows.append([str(row.workers), f"{row.ideal_time:.2f}",
+                     f"{row.static_time:.2f}", f"{p.static_time:.2f}",
+                     f"{row.dynamic_time:.2f}", f"{p.dynamic_time:.2f}"])
+    parts += _md_table(["W", "ideal", "static (model)", "static (paper)",
+                        "dynamic (model)", "dynamic (paper)"], rows)
+    parts.append("")
+
+    # headline claims
+    t7 = run_parallel(7, "static").elapsed
+    t8 = run_parallel(8, "static").elapsed
+    overhead = run_parallel(1, "dynamic").elapsed / ideal_time(1) - 1
+    control = homogeneous_control(8)
+    parts += [
+        "## Section 5.2 claims",
+        "",
+        f"* static elapsed time *increases* at the 7→8 worker transition: "
+        f"{t7:.2f} → {t8:.2f} minutes (paper: same direction);",
+        f"* dynamic overhead at one worker: {overhead:.1%} "
+        f"(paper: \"no more than 6% to 7%\");",
+        f"* homogeneous control: static {control['static']:.2f} vs dynamic "
+        f"{control['dynamic']:.2f} minutes — the disciplines tie without "
+        "heterogeneity.",
+        "",
+    ]
+
+    if sweep:
+        parts.append("## Figures 19–20 — full worker sweep")
+        rows = []
+        for r in sweep_workers(range(1, 33)):
+            rows.append([str(r.workers), f"{r.ideal_time:.2f}",
+                         f"{r.static_time:.2f}", f"{r.dynamic_time:.2f}",
+                         f"{r.ideal_speed:.2f}", f"{r.static_speed:.2f}",
+                         f"{r.dynamic_speed:.2f}"])
+        parts += _md_table(["W", "t ideal", "t static", "t dynamic",
+                            "s ideal", "s static", "s dynamic"], rows)
+        increments = [ideal_speed(w + 1) - ideal_speed(w)
+                      for w in range(1, 34)]
+        parts += [
+            "",
+            f"Ideal-speed inflections: worker 8 adds {increments[6]:.2f} "
+            f"(was {increments[5]:.2f}) — first class-C CPU; worker 27 adds "
+            f"{increments[25]:.2f} (was {increments[24]:.2f}) — first "
+            "class-E CPU.",
+            "",
+        ]
+
+    parts.append("## Task-variance ablation (8 identical CPUs)")
+    rows = []
+    for cv in (0.0, 0.5, 1.0, 2.0):
+        r = variance_experiment(cv, n_workers=8, n_tasks=512, seed=17)
+        rows.append([f"{cv:.1f}", f"{r['static']:.2f}", f"{r['dynamic']:.2f}",
+                     f"{r['ratio']:.2f}"])
+    parts += _md_table(["cv", "static", "dynamic", "static/dynamic"], rows)
+    parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,33 @@
+"""Shared test helpers.
+
+Networks in tests always run under a timeout so a regression that
+deadlocks (ironically, in a deadlock-management library) fails fast
+instead of hanging CI.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+#: default per-network timeout for tests (seconds)
+NET_TIMEOUT = 60.0
+
+
+@pytest.fixture
+def net_timeout() -> float:
+    return NET_TIMEOUT
+
+
+def run_network(net, timeout: float = NET_TIMEOUT):
+    """Run a network, failing the test on timeout instead of hanging."""
+    finished = net.run(timeout=timeout)
+    assert finished, f"network {net.name!r} did not finish within {timeout}s"
+    return net
+
+
+def start_thread(fn, *args, name: str = "test-helper") -> threading.Thread:
+    t = threading.Thread(target=fn, args=args, name=name, daemon=True)
+    t.start()
+    return t

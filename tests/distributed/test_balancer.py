@@ -1,0 +1,134 @@
+"""Worker placement policies (§6.1)."""
+
+import pytest
+
+from repro.distributed.balancer import (CalibrationTask, LeastLoadedPlacement,
+                                        RoundRobinPlacement, ServerProfile,
+                                        SpeedWeightedPlacement, place_workers,
+                                        profile_servers, suggest_rebalance)
+from repro.distributed.cluster import LocalCluster
+from repro.parallel import CallableTask, RangeProducerTask, build_farm
+
+
+def profiles(*specs):
+    """specs: (speed, load) pairs."""
+    return [ServerProfile(index=i, name=f"s{i}", speed=s, load=l)
+            for i, (s, l) in enumerate(specs)]
+
+
+# ---------------------------------------------------------------------------
+# policies (pure logic)
+# ---------------------------------------------------------------------------
+
+def test_round_robin():
+    assignment = RoundRobinPlacement().assign(5, profiles((1, 0), (1, 0)))
+    assert assignment == [0, 1, 0, 1, 0]
+
+
+def test_least_loaded_avoids_busy_server():
+    assignment = LeastLoadedPlacement().assign(3, profiles((1, 5), (1, 0)))
+    assert assignment == [1, 1, 1]
+
+
+def test_least_loaded_balances_incrementally():
+    # server 0 starts with 1 pre-existing unit of load; after placing 4
+    # workers the totals must be as even as possible: 3 vs 2
+    assignment = LeastLoadedPlacement().assign(4, profiles((1, 1), (1, 0)))
+    assert assignment[0] == 1  # first worker avoids the pre-loaded server
+    assert sorted(assignment) == [0, 0, 1, 1]
+
+
+def test_speed_weighted_proportional():
+    assignment = SpeedWeightedPlacement().assign(6, profiles((2.0, 0), (1.0, 0)))
+    assert assignment.count(0) == 4
+    assert assignment.count(1) == 2
+
+
+def test_speed_weighted_largest_remainder():
+    assignment = SpeedWeightedPlacement().assign(5, profiles((1.0, 0), (1.0, 0),
+                                                             (1.0, 0)))
+    counts = [assignment.count(i) for i in range(3)]
+    assert sorted(counts) == [1, 2, 2]
+
+
+def test_speed_weighted_handles_unmeasured():
+    # speed=None -> effective 1.0
+    assignment = SpeedWeightedPlacement().assign(4, profiles((None, 0), (None, 0)))
+    assert assignment.count(0) == 2 and assignment.count(1) == 2
+
+
+def test_speed_weighted_extreme_skew():
+    assignment = SpeedWeightedPlacement().assign(4, profiles((100.0, 0), (0.001, 0)))
+    assert assignment.count(0) == 4
+
+
+# ---------------------------------------------------------------------------
+# rebalance suggestions
+# ---------------------------------------------------------------------------
+
+def test_rebalance_moves_from_hot_to_cool():
+    moves = suggest_rebalance(profiles((1.0, 6), (1.0, 0)))
+    assert moves and all(m == (0, 1) for m in moves)
+    assert len(moves) >= 2
+
+
+def test_rebalance_none_when_even():
+    assert suggest_rebalance(profiles((1.0, 3), (1.0, 3))) == []
+
+
+def test_rebalance_respects_speed():
+    # fast server carrying double load of slow one is already fair
+    assert suggest_rebalance(profiles((2.0, 4), (1.0, 2))) == []
+
+
+def test_rebalance_empty_system():
+    assert suggest_rebalance(profiles((1.0, 0), (1.0, 0))) == []
+
+
+# ---------------------------------------------------------------------------
+# against a live cluster
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(3, mode="thread", name_prefix="bal") as c:
+        yield c
+
+
+def test_calibration_task_runs(cluster):
+    rate = cluster.client(0).call(CalibrationTask(rounds=200))
+    assert rate > 0
+
+
+def test_profile_servers_collects_load(cluster):
+    prof = profile_servers(cluster)
+    assert [p.name for p in prof] == ["bal-0", "bal-1", "bal-2"]
+    assert all(p.speed is None for p in prof)
+
+
+def test_profile_servers_with_measurement(cluster):
+    prof = profile_servers(cluster, measure_speed=True,
+                           calibration_rounds=200)
+    assert all(p.speed and p.speed > 0 for p in prof)
+
+
+def test_place_workers_end_to_end(cluster):
+    handle = build_farm(RangeProducerTask(12, lambda i: CallableTask(pow, i, 2)),
+                        n_workers=3, mode="dynamic", defer_workers=True)
+    harness = handle.harness
+    assignment = place_workers(harness, cluster, LeastLoadedPlacement())
+    assert len(assignment) == 3
+    assert harness.workers == []  # shipped
+    results = handle.run(timeout=120)
+    assert results == [i * i for i in range(12)]
+
+
+def test_place_workers_speed_weighted_end_to_end(cluster):
+    handle = build_farm(RangeProducerTask(8, lambda i: CallableTask(abs, -i)),
+                        n_workers=4, mode="static", defer_workers=True)
+    assignment = place_workers(handle.harness, cluster,
+                               SpeedWeightedPlacement(),
+                               profiles=profiles((3.0, 0), (1.0, 0), (1.0, 0)))
+    assert assignment.count(0) >= 2  # the "fast" server hosts most workers
+    results = handle.run(timeout=120)
+    assert results == list(range(8))

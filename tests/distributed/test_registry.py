@@ -1,0 +1,74 @@
+"""Name registry (the RMI-registry analogue, section 4.1)."""
+
+import pytest
+
+from repro.distributed.registry import RegistryClient, RegistryServer
+from repro.errors import RegistryError
+
+
+@pytest.fixture
+def registry():
+    server = RegistryServer().start()
+    client = RegistryClient("127.0.0.1", server.port)
+    yield server, client
+    client.close()
+    server.stop()
+
+
+def test_register_and_lookup(registry):
+    _, client = registry
+    client.register("alpha", "10.0.0.1", 9001)
+    assert client.lookup("alpha") == ("10.0.0.1", 9001)
+
+
+def test_lookup_unknown_raises(registry):
+    _, client = registry
+    with pytest.raises(RegistryError, match="unknown name"):
+        client.lookup("ghost")
+
+
+def test_reregister_overwrites(registry):
+    _, client = registry
+    client.register("a", "h1", 1)
+    client.register("a", "h2", 2)
+    assert client.lookup("a") == ("h2", 2)
+
+
+def test_unregister(registry):
+    _, client = registry
+    client.register("gone", "h", 5)
+    client.unregister("gone")
+    with pytest.raises(RegistryError):
+        client.lookup("gone")
+
+
+def test_unregister_unknown_is_noop(registry):
+    _, client = registry
+    client.unregister("never-was")
+
+
+def test_list_sorted(registry):
+    _, client = registry
+    for name in ("zeta", "alpha", "mid"):
+        client.register(name, "h", 1)
+    assert client.list() == ["alpha", "mid", "zeta"]
+
+
+def test_multiple_clients_share_state(registry):
+    server, client = registry
+    client.register("shared", "h", 7)
+    other = RegistryClient("127.0.0.1", server.port)
+    assert other.lookup("shared") == ("h", 7)
+    other.close()
+
+
+def test_entries_inproc_view(registry):
+    server, client = registry
+    client.register("x", "h", 1)
+    assert server.entries() == {"x": ("h", 1)}
+
+
+def test_unreachable_registry_raises():
+    client = RegistryClient("127.0.0.1", 1)  # almost certainly closed
+    with pytest.raises(RegistryError):
+        client.register("x", "h", 1)

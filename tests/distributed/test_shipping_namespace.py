@@ -1,0 +1,92 @@
+"""Shipped-source namespace: library + stdlib names must resolve remotely.
+
+Regression for a failure found by examples/cluster_operations.py: a
+``__main__``-defined process whose methods reference ``time`` or library
+names (``IterativeProcess``, codecs) raised NameError after source
+shipping, because ``inspect.getsource`` captures the definition but not
+its module's imports.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+
+SCRIPT = textwrap.dedent("""
+    import time
+    from repro.kpn import Network
+    from repro.kpn.process import IterativeProcess
+    from repro.distributed import ComputeServer, ServerClient
+    from repro.processes import Collect
+    from repro.processes.codecs import LONG
+
+
+    class StdlibUser(IterativeProcess):
+        '''References time, math, LONG — all must resolve after shipping.'''
+
+        def __init__(self, out, iterations, name=None):
+            super().__init__(iterations=iterations, name=name)
+            self.out = out
+            self.track(out)
+
+        def step(self):
+            import_free = math.isqrt(self.steps_completed * self.steps_completed)
+            time.sleep(0)
+            LONG.write(self.out, import_free)
+
+
+    server = ComputeServer(name="ns").start()
+    client = ServerClient("127.0.0.1", server.port)
+    net = Network()
+    ch = net.channel()
+    out = []
+    client.run(StdlibUser(ch.get_output_stream(), iterations=10))
+    net.add(Collect(ch.get_input_stream(), out))
+    net.run(timeout=60)
+    stats = client.stats()
+    assert stats["failures"] == [], stats["failures"]
+    assert out == list(range(10)), out
+    server.stop()
+    print("NAMESPACE_OK")
+""")
+
+
+def test_main_class_with_stdlib_refs_ships(tmp_path):
+    script = tmp_path / "ship_ns.py"
+    script.write_text(SCRIPT)
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "NAMESPACE_OK" in result.stdout
+
+
+from repro.kpn.process import IterativeProcess
+
+
+class Exploder(IterativeProcess):
+    """Fails immediately (module-level: pickles by reference)."""
+
+    def step(self):
+        raise RuntimeError("remote kaboom")
+
+
+def test_server_stats_report_remote_failures():
+    from repro.distributed import ComputeServer, ServerClient
+    import time
+
+    server = ComputeServer(name="failstats").start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        client.run(Exploder(iterations=1, name="bomb"))
+        deadline = time.monotonic() + 10
+        failures = []
+        while time.monotonic() < deadline and not failures:
+            failures = client.stats()["failures"]
+            time.sleep(0.02)
+        assert failures and failures[0]["process"] == "bomb"
+        assert "remote kaboom" in failures[0]["error"]
+    finally:
+        client.close()
+        server.stop()

@@ -1,0 +1,107 @@
+"""Wire protocol: framing, object transport, endpoint helpers."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.distributed.wire import (FrameError, Tag, connect_with_retry,
+                                    open_listener, recv_frame, recv_obj,
+                                    send_frame, send_obj, advertised_host,
+                                    set_advertised_host)
+from repro.errors import ChannelError
+
+
+@pytest.fixture
+def sock_pair():
+    listener = open_listener()
+    port = listener.getsockname()[1]
+    client = socket.create_connection(("127.0.0.1", port))
+    server, _ = listener.accept()
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+def test_frame_roundtrip(sock_pair):
+    a, b = sock_pair
+    send_frame(a, Tag.DATA, b"payload")
+    tag, payload = recv_frame(b)
+    assert (tag, payload) == (Tag.DATA, b"payload")
+
+
+def test_empty_payload_frame(sock_pair):
+    a, b = sock_pair
+    send_frame(a, Tag.EOF)
+    assert recv_frame(b) == (Tag.EOF, b"")
+
+
+def test_multiple_frames_in_order(sock_pair):
+    a, b = sock_pair
+    for i in range(20):
+        send_frame(a, Tag.DATA, bytes([i]) * i)
+    for i in range(20):
+        tag, payload = recv_frame(b)
+        assert payload == bytes([i]) * i
+
+
+def test_obj_roundtrip(sock_pair):
+    a, b = sock_pair
+    send_obj(a, {"op": "ping", "nested": [1, (2, 3)]})
+    assert recv_obj(b) == {"op": "ping", "nested": [1, (2, 3)]}
+
+
+def test_recv_obj_rejects_wrong_tag(sock_pair):
+    a, b = sock_pair
+    send_frame(a, Tag.DATA, b"raw")
+    with pytest.raises(FrameError):
+        recv_obj(b)
+
+
+def test_connection_close_mid_frame_detected(sock_pair):
+    a, b = sock_pair
+    a.sendall(b"\x02\x00\x00\x00\x10partial")  # claims 16 bytes, sends 7
+    a.close()
+    with pytest.raises(FrameError, match="mid-frame"):
+        recv_frame(b)
+
+
+def test_oversized_outgoing_frame_rejected(sock_pair):
+    a, _ = sock_pair
+    from repro.distributed import wire
+
+    original = wire.MAX_PAYLOAD
+    wire.MAX_PAYLOAD = 8
+    try:
+        with pytest.raises(FrameError, match="exceeds cap"):
+            send_frame(a, Tag.DATA, b"123456789")
+    finally:
+        wire.MAX_PAYLOAD = original
+
+
+def test_connect_with_retry_eventual_success():
+    listener = open_listener()
+    port = listener.getsockname()[1]
+    sock = connect_with_retry("127.0.0.1", port, attempts=5)
+    sock.close()
+    listener.close()
+
+
+def test_connect_with_retry_gives_up():
+    # a port bound but not listening is hard to fabricate portably; use a
+    # closed listener's (very likely unoccupied) port
+    listener = open_listener()
+    port = listener.getsockname()[1]
+    listener.close()
+    with pytest.raises(ChannelError, match="cannot connect"):
+        connect_with_retry("127.0.0.1", port, attempts=2, delay=0.01)
+
+
+def test_advertised_host_settable():
+    original = advertised_host()
+    try:
+        set_advertised_host("192.0.2.1")
+        assert advertised_host() == "192.0.2.1"
+    finally:
+        set_advertised_host(original)

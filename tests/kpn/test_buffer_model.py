@@ -1,0 +1,118 @@
+"""Model-based testing of BoundedByteBuffer against a reference deque.
+
+A hypothesis state machine drives the buffer through arbitrary
+interleavings of writes, partial reads, drains, growth, and closes, and
+checks every observable against a trivially correct byte-list model.
+Blocking operations are exercised non-blockingly by bounding each write
+to the free space and each read to the available bytes — the blocking
+paths themselves are covered by tests/kpn/test_buffers.py.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+from hypothesis import strategies as st
+
+from repro.errors import BrokenChannelError, ChannelClosedError
+from repro.kpn.buffers import BoundedByteBuffer
+
+
+class BufferMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.capacity = 32
+        self.buf = BoundedByteBuffer(self.capacity)
+        self.model = bytearray()
+        self.read_closed = False
+        self.write_closed = False
+
+    # -- rules ----------------------------------------------------------
+
+    @rule(data=st.binary(min_size=1, max_size=16))
+    def write(self, data):
+        space = self.capacity - len(self.model)
+        chunk = data[:space]  # stay under capacity: no blocking
+        if not chunk:
+            return
+        # precedence mirrors the implementation: your own closed end
+        # errors before the peer's
+        if self.write_closed:
+            with pytest.raises(ChannelClosedError):
+                self.buf.write(chunk)
+        elif self.read_closed:
+            with pytest.raises(BrokenChannelError):
+                self.buf.write(chunk)
+        else:
+            self.buf.write(chunk)
+            self.model.extend(chunk)
+
+    @rule(n=st.integers(min_value=1, max_value=16))
+    def read(self, n):
+        if self.read_closed:
+            with pytest.raises(ChannelClosedError):
+                self.buf.read(n)
+            return
+        if not self.model:
+            if self.write_closed:
+                assert self.buf.read(n) == b""
+            return  # would block
+        got = self.buf.read(n)
+        expect = bytes(self.model[:n])
+        assert got == expect
+        del self.model[: len(got)]
+
+    @rule()
+    def drain(self):
+        if self.read_closed:
+            got = self.buf.drain()
+            assert got == b""
+            return
+        got = self.buf.drain()
+        assert got == bytes(self.model)
+        self.model.clear()
+
+    @rule(extra=st.integers(min_value=1, max_value=64))
+    def grow(self, extra):
+        self.capacity += extra
+        self.buf.grow(self.capacity)
+
+    @rule()
+    def close_write(self):
+        self.buf.close_write()
+        self.write_closed = True
+
+    @rule()
+    def close_read(self):
+        self.buf.close_read()
+        self.read_closed = True
+        self.model.clear()  # close_read discards buffered data
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def available_matches_model(self):
+        if not self.read_closed:
+            assert self.buf.available() == len(self.model)
+
+    @invariant()
+    def capacity_matches(self):
+        assert self.buf.capacity == self.capacity
+
+    @invariant()
+    def totals_consistent(self):
+        assert self.buf.total_written >= self.buf.total_read
+        if not self.read_closed:
+            assert self.buf.total_written - self.buf.total_read == \
+                len(self.model)
+
+    @invariant()
+    def eof_state_correct(self):
+        if not self.read_closed:
+            assert self.buf.at_eof() == (self.write_closed and not self.model)
+
+
+BufferModelTest = BufferMachine.TestCase
+BufferModelTest.settings = settings(max_examples=60,
+                                    stateful_step_count=40,
+                                    deadline=None)

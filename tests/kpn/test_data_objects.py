@@ -1,0 +1,184 @@
+"""Typed layers over byte channels: Data*Stream, Object*Stream, codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ChannelError, EndOfStreamError
+from repro.kpn.channel import Channel
+from repro.kpn.data import DataInputStream, DataOutputStream
+from repro.kpn.objects import ObjectInputStream, ObjectOutputStream, dumps_framed
+from repro.processes.codecs import (BOOL, DOUBLE, INT, LONG, OBJECT,
+                                    StructCodec, get_codec)
+
+
+def fresh():
+    ch = Channel(1 << 16)
+    return (DataOutputStream(ch.get_output_stream()),
+            DataInputStream(ch.get_input_stream()), ch)
+
+
+# ---------------------------------------------------------------------------
+# DataOutputStream / DataInputStream
+# ---------------------------------------------------------------------------
+
+def test_primitive_roundtrip_each_type():
+    out, inp, _ = fresh()
+    out.write_bool(True)
+    out.write_byte(-5)
+    out.write_int(-123456)
+    out.write_long(1 << 40)
+    out.write_float(1.5)
+    out.write_double(3.141592653589793)
+    out.write_utf("héllo ✓")
+    assert inp.read_bool() is True
+    assert inp.read_byte() == -5
+    assert inp.read_int() == -123456
+    assert inp.read_long() == 1 << 40
+    assert inp.read_float() == 1.5
+    assert inp.read_double() == 3.141592653589793
+    assert inp.read_utf() == "héllo ✓"
+
+
+@given(st.lists(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_long_stream_roundtrip_property(values):
+    out, inp, _ = fresh()
+    for v in values:
+        out.write_long(v)
+    assert [inp.read_long() for _ in values] == values
+
+
+@given(st.lists(st.floats(allow_nan=False), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_double_stream_roundtrip_property(values):
+    out, inp, _ = fresh()
+    for v in values:
+        out.write_double(v)
+    assert [inp.read_double() for _ in values] == values
+
+
+def test_utf_too_long_rejected():
+    out, _, _ = fresh()
+    with pytest.raises(ValueError):
+        out.write_utf("x" * 70000)
+
+
+def test_eof_mid_value_raises():
+    out, inp, ch = fresh()
+    ch.get_output_stream().write(b"\x00\x01")  # half an int
+    out.close()
+    with pytest.raises(EndOfStreamError):
+        inp.read_int()
+
+
+def test_interleaved_types_preserve_framing():
+    out, inp, _ = fresh()
+    for k in range(10):
+        out.write_int(k)
+        out.write_utf(f"v{k}")
+    for k in range(10):
+        assert inp.read_int() == k
+        assert inp.read_utf() == f"v{k}"
+
+
+# ---------------------------------------------------------------------------
+# ObjectOutputStream / ObjectInputStream
+# ---------------------------------------------------------------------------
+
+def test_object_roundtrip_various():
+    ch = Channel(1 << 16)
+    out = ObjectOutputStream(ch.get_output_stream())
+    inp = ObjectInputStream(ch.get_input_stream())
+    samples = [None, 42, "text", [1, 2, {"a": (3, 4)}], {"k": b"bytes"}]
+    for obj in samples:
+        out.write_object(obj)
+    for obj in samples:
+        assert inp.read_object() == obj
+
+
+@given(st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=20))
+@settings(max_examples=40, deadline=None)
+def test_object_roundtrip_property(obj):
+    ch = Channel(1 << 20)
+    ObjectOutputStream(ch.get_output_stream()).write_object(obj)
+    assert ObjectInputStream(ch.get_input_stream()).read_object() == obj
+
+
+def test_corrupted_length_prefix_detected():
+    ch = Channel(64)
+    ch.get_output_stream().write(b"\xff\xff\xff\xff")  # 4 GiB frame claim
+    inp = ObjectInputStream(ch.get_input_stream())
+    with pytest.raises(ChannelError, match="exceeds cap"):
+        inp.read_object()
+
+
+def test_dumps_framed_standalone():
+    frame = dumps_framed({"x": 1})
+    import pickle
+    import struct
+
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    assert pickle.loads(frame[4:]) == {"x": 1}
+
+
+# ---------------------------------------------------------------------------
+# codecs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("codec,value", [
+    (LONG, -(1 << 62)), (INT, 2 ** 31 - 1), (DOUBLE, 2.5), (BOOL, True),
+    (OBJECT, {"nested": [1, 2]}),
+])
+def test_codec_roundtrip(codec, value):
+    ch = Channel(1 << 16)
+    codec.write(ch.get_output_stream(), value)
+    assert codec.read(ch.get_input_stream()) == value
+
+
+def test_codec_encode_matches_write():
+    ch = Channel(64)
+    LONG.write(ch.get_output_stream(), 7)
+    assert ch.get_input_stream().read_exactly(8) == LONG.encode(7)
+
+
+def test_get_codec_by_name_and_instance():
+    assert get_codec("long") is LONG
+    assert get_codec(LONG) is LONG
+    with pytest.raises(ValueError):
+        get_codec("nope")
+
+
+def test_named_codecs_pickle_to_singletons():
+    import pickle
+
+    assert pickle.loads(pickle.dumps(LONG)) is LONG
+    assert pickle.loads(pickle.dumps(OBJECT)) is OBJECT
+
+
+def test_adhoc_struct_codec_pickles_by_format():
+    import pickle
+
+    c = StructCodec(">h", "short")
+    c2 = pickle.loads(pickle.dumps(c))
+    assert c2.encode(-7) == c.encode(-7)
+
+
+def test_byte_level_process_between_typed_ends():
+    """A type-blind copier between typed ends must preserve framing."""
+    from repro.kpn import Network
+    from repro.processes import Collect, Identity, Sequence
+
+    net = Network()
+    a, b = net.channels_n(2)
+    out: list[int] = []
+    net.add(Sequence(a.get_output_stream(), start=5, iterations=20))
+    net.add(Identity(a.get_input_stream(), b.get_output_stream()))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == list(range(5, 25))

@@ -1,0 +1,220 @@
+"""Failure injection: crashes must not hang the network.
+
+The paper's cascading-termination design (section 3.4) has a safety
+corollary: because ``onStop`` closes a process's streams *whatever the
+reason it stopped*, a crashing process looks to its neighbours exactly
+like a terminating one — the network drains and shuts down instead of
+hanging, and the failure surfaces from ``Network.join``.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.kpn import Network
+from repro.kpn.process import IterativeProcess
+from repro.processes import Collect, MapProcess, Scale, Sequence
+from repro.processes.codecs import LONG
+
+
+class CrashAfter(IterativeProcess):
+    """Forwards n elements, then raises."""
+
+    def __init__(self, source, out, crash_after: int, exc=RuntimeError,
+                 name=None):
+        super().__init__(name=name)
+        self.source = source
+        self.out = out
+        self.crash_after = crash_after
+        self.exc = exc
+        self.track(source, out)
+
+    def step(self):
+        if self.steps_completed >= self.crash_after:
+            raise self.exc("injected failure")
+        LONG.write(self.out, LONG.read(self.source))
+
+
+def test_mid_pipeline_crash_terminates_everything():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(Sequence(a.get_output_stream(), iterations=0, name="src"))
+    net.add(CrashAfter(a.get_input_stream(), b.get_output_stream(), 5,
+                       name="crasher"))
+    net.add(Collect(b.get_input_stream(), out, name="sink"))
+    with pytest.raises(RuntimeError, match="injected failure"):
+        net.run(timeout=60)
+    assert out == [0, 1, 2, 3, 4]  # everything before the crash delivered
+
+
+def test_crash_in_source_lets_consumers_drain():
+    net = Network()
+    ch = net.channel()
+
+    class CrashySource(IterativeProcess):
+        def __init__(self, out_stream):
+            super().__init__()
+            self.out = out_stream
+            self.track(out_stream)
+
+        def step(self):
+            if self.steps_completed >= 3:
+                raise ValueError("source died")
+            LONG.write(self.out, self.steps_completed)
+
+    out = []
+    net.add(CrashySource(ch.get_output_stream()))
+    net.add(Collect(ch.get_input_stream(), out))
+    with pytest.raises(ValueError):
+        net.run(timeout=60)
+    assert out == [0, 1, 2]
+
+
+def test_crash_in_sink_breaks_upstream():
+    net = Network()
+    a, b = net.channels_n(2, capacity=64)
+
+    class CrashySink(IterativeProcess):
+        def __init__(self, source):
+            super().__init__()
+            self.source = source
+            self.track(source)
+
+        def step(self):
+            LONG.read(self.source)
+            if self.steps_completed >= 2:
+                raise KeyError("sink died")
+
+    net.add(Sequence(a.get_output_stream(), iterations=0, name="src"))
+    net.add(Scale(a.get_input_stream(), b.get_output_stream(), 1, name="mid"))
+    net.add(CrashySink(b.get_input_stream()))
+    with pytest.raises(KeyError):
+        net.run(timeout=60)  # infinite source must still terminate
+
+
+def test_crash_in_one_branch_frees_sibling():
+    from repro.processes import Duplicate
+
+    net = Network()
+    src, left, right = net.channels_n(3, capacity=128)
+    out = []
+    net.add(Sequence(src.get_output_stream(), iterations=0))
+    net.add(Duplicate(src.get_input_stream(),
+                      [left.get_output_stream(), right.get_output_stream()]))
+    net.add(CrashAfter(left.get_input_stream(),
+                       (dead_end := net.channel()).get_output_stream(), 3,
+                       name="branch-crasher"))
+    net.add(Collect(dead_end.get_input_stream(), []))
+    net.add(Collect(right.get_input_stream(), out))
+    with pytest.raises(RuntimeError):
+        net.run(timeout=60)
+    assert out == list(range(len(out)))  # a clean prefix, then shutdown
+
+
+def test_multiple_failures_first_reported():
+    net = Network()
+    chans = net.channels_n(4)
+
+    class Boom(IterativeProcess):
+        def __init__(self, tag):
+            super().__init__(iterations=1)
+            self.tag = tag
+
+        def step(self):
+            raise RuntimeError(f"boom-{self.tag}")
+
+    for i in range(4):
+        net.add(Boom(i))
+    with pytest.raises(RuntimeError, match="boom-"):
+        net.run(timeout=60)
+
+
+def test_failures_do_not_mask_collected_data():
+    """Failure cleanup must not clear data already collected."""
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(Sequence(a.get_output_stream(), iterations=0))
+    net.add(CrashAfter(a.get_input_stream(), b.get_output_stream(), 10))
+    net.add(Collect(b.get_input_stream(), out))
+    with pytest.raises(RuntimeError):
+        net.run(timeout=60)
+    assert out == list(range(10))
+
+
+def test_all_threads_exit_after_crash():
+    net = Network()
+    a, b = net.channels_n(2)
+    net.add(Sequence(a.get_output_stream(), iterations=0))
+    net.add(CrashAfter(a.get_input_stream(), b.get_output_stream(), 2))
+    net.add(Collect(b.get_input_stream(), []))
+    with pytest.raises(RuntimeError):
+        net.run(timeout=60)
+    deadline = time.monotonic() + 10
+    while net.live_threads() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert net.live_threads() == []
+
+
+# ---------------------------------------------------------------------------
+# remote failure: server-side crash and server death
+# ---------------------------------------------------------------------------
+
+def test_remote_process_crash_cascades_home():
+    from repro.distributed import ComputeServer, ServerClient
+    from repro.processes import FromIterable
+
+    server = ComputeServer(name="crashy").start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        net = Network()
+        a, b = net.channels_n(2)
+        out = []
+        client.run(CrashAfter(a.get_input_stream(), b.get_output_stream(), 3,
+                              name="remote-crasher"))
+        net.add(FromIterable(a.get_output_stream(), list(range(100))))
+        net.add(Collect(b.get_input_stream(), out))
+        assert net.run(timeout=60)  # local side terminates cleanly
+        assert out == [0, 1, 2]     # the prefix before the remote crash
+    finally:
+        client.close()
+        server.stop()
+
+
+class SlowSource(IterativeProcess):
+    """Unbounded source with a per-element delay (module-level: pickles)."""
+
+    def __init__(self, out_stream, name=None):
+        super().__init__(name=name)
+        self.out = out_stream
+        self.track(out_stream)
+
+    def step(self):
+        import time as _t
+
+        LONG.write(self.out, self.steps_completed)
+        _t.sleep(0.01)
+
+
+def test_server_death_midstream_ends_consumer():
+    """Killing the server mid-stream must end (not hang) the local
+    consumer: the link reports end-of-stream on connection loss."""
+    from repro.distributed import ComputeServer, ServerClient
+
+    server = ComputeServer(name="mortal").start()
+    client = ServerClient("127.0.0.1", server.port)
+    net = Network()
+    ch = net.channel(capacity=64)
+    out = []
+
+    client.run(SlowSource(ch.get_output_stream()))
+    net.add(Collect(ch.get_input_stream(), out))
+    net.start()
+    time.sleep(0.3)
+    server.stop()          # kill the producer's host
+    client.close()
+    assert net.join(timeout=60)
+    assert out == list(range(len(out)))  # clean prefix, no hang
+    assert len(out) >= 1

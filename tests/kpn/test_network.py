@@ -1,0 +1,176 @@
+"""Unit tests for Network lifecycle, graph export, and analysis."""
+
+import pytest
+
+from repro.kpn import Network
+from repro.kpn.process import IterativeProcess
+from repro.processes import Collect, Duplicate, MapProcess, Sequence
+from repro.processes.networks import fibonacci, modulo_merge
+
+
+def simple_net(n=10):
+    net = Network()
+    ch = net.channel(name="only")
+    out = []
+    net.add(Sequence(ch.get_output_stream(), start=0, iterations=n, name="Src"))
+    net.add(Collect(ch.get_input_stream(), out, name="Dst"))
+    return net, out
+
+
+def test_run_joins_and_collects():
+    net, out = simple_net()
+    assert net.run(timeout=30)
+    assert out == list(range(10))
+
+
+def test_double_start_rejected():
+    net, _ = simple_net()
+    net.start()
+    with pytest.raises(RuntimeError):
+        net.start()
+    net.join(timeout=30)
+
+
+def test_join_timeout_returns_false():
+    net = Network()
+    ch = net.channel()
+
+    class Forever(IterativeProcess):
+        def __init__(self, stream):
+            super().__init__()
+            self.stream = stream
+            self.track(stream)
+
+        def step(self):
+            self.stream.read(1)  # blocks forever; no writer
+
+    net.monitor.policy.on_true = "ignore"  # keep it blocked
+    net.add(Forever(ch.get_input_stream()))
+    net.start()
+    assert net.join(timeout=0.3) is False
+    net.shutdown()
+    assert net.join(timeout=10)
+
+
+def test_process_failure_raised_from_join():
+    class Bad(IterativeProcess):
+        def step(self):
+            raise RuntimeError("kaput")
+
+    net = Network()
+    net.add(Bad(iterations=1))
+    with pytest.raises(RuntimeError, match="kaput"):
+        net.run(timeout=30)
+
+
+def test_shutdown_closes_all_channels():
+    net, _ = simple_net()
+    net.shutdown()
+    assert all(ch.buffer.write_closed and ch.buffer.read_closed
+               for ch in net.channels)
+
+
+def test_channels_get_shared_accounting():
+    net = Network()
+    a, b = net.channels_n(2)
+    assert a.buffer.accounting is net.accounting
+    assert b.buffer.accounting is net.accounting
+
+
+def test_adopt_channel():
+    from repro.kpn.channel import Channel
+
+    net = Network()
+    ch = Channel(16)
+    net.adopt_channel(ch)
+    assert ch in net.channels
+    assert ch.buffer.accounting is net.accounting
+
+
+def test_ensure_running_allows_spawn_only_use():
+    net = Network()
+    net.ensure_running()
+    done = []
+
+    class One(IterativeProcess):
+        def step(self):
+            done.append(1)
+
+    net.spawn(One(iterations=1))
+    assert net.join(timeout=30)
+    assert done == [1]
+
+
+def test_context_manager_stops_monitor():
+    with Network() as net:
+        ch = net.channel()
+        out = []
+        net.add(Sequence(ch.get_output_stream(), iterations=5))
+        net.add(Collect(ch.get_input_stream(), out))
+        net.run(timeout=30)
+    assert out == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# graph export and analysis
+# ---------------------------------------------------------------------------
+
+def test_graph_export_nodes_and_edges():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(Sequence(a.get_output_stream(), iterations=1, name="s"))
+    net.add(MapProcess(a.get_input_stream(), b.get_output_stream(),
+                       abs, name="m"))
+    net.add(Collect(b.get_input_stream(), out, name="c"))
+    g = net.graph()
+    assert set(g.nodes) == {"s", "m", "c"}
+    assert g.number_of_edges() == 2
+    assert g.has_edge("s", "m") and g.has_edge("m", "c")
+
+
+def test_pipeline_has_no_undirected_cycle():
+    net = Network()
+    a, b = net.channels_n(2)
+    net.add(Sequence(a.get_output_stream(), iterations=1, name="s"))
+    net.add(MapProcess(a.get_input_stream(), b.get_output_stream(), abs, name="m"))
+    net.add(Collect(b.get_input_stream(), [], name="c"))
+    assert net.has_undirected_cycle() is False
+
+
+def test_fibonacci_has_undirected_cycle():
+    built = fibonacci(5)
+    assert built.network.has_undirected_cycle() is True
+
+
+def test_fig13_has_undirected_cycle_though_acyclic_directed():
+    """Figure 13: directed-acyclic but undirected-cyclic — the class of
+    graph whose default capacities may deadlock (section 3.5)."""
+    import networkx as nx
+
+    built = modulo_merge(10, 5)
+    g = built.network.graph()
+    assert nx.is_directed_acyclic_graph(nx.DiGraph(g))
+    assert built.network.has_undirected_cycle() is True
+
+
+def test_diamond_counts_as_undirected_cycle():
+    net = Network()
+    a, b, c, d = net.channels_n(4)
+    from repro.processes import Add
+
+    net.add(Sequence(a.get_output_stream(), iterations=3, name="src"))
+    net.add(Duplicate(a.get_input_stream(),
+                      [b.get_output_stream(), c.get_output_stream()],
+                      name="dup"))
+    net.add(Add(b.get_input_stream(), c.get_input_stream(),
+                d.get_output_stream(), name="add"))
+    net.add(Collect(d.get_input_stream(), [], name="sink"))
+    assert net.has_undirected_cycle() is True
+
+
+def test_total_buffered_bytes():
+    net = Network()
+    ch = net.channel()
+    ch.get_output_stream().write(b"12345")
+    assert net.total_buffered_bytes() == 5

@@ -1,0 +1,106 @@
+"""Integration: the Figure-1 Producer→Worker→Consumer pipeline."""
+
+import threading
+
+from repro.kpn import Network
+from repro.kpn.process import CompositeProcess
+from repro.parallel import CallableTask, Consumer, Producer, RangeProducerTask, Worker
+
+
+def build_pipeline(n_tasks: int, capacity=None):
+    net = Network()
+    tasks = net.channel(capacity, name="tasks")
+    results = net.channel(capacity, name="results")
+    out = []
+    net.add(Producer(RangeProducerTask(n_tasks,
+                                       lambda i: CallableTask(pow, i, 2)),
+                     tasks.get_output_stream(), name="Producer"))
+    net.add(Worker(tasks.get_input_stream(), results.get_output_stream(),
+                   name="Worker"))
+    net.add(Consumer(results.get_input_stream(), collect_into=out,
+                     name="Consumer"))
+    return net, out
+
+
+def test_pipeline_end_to_end():
+    net, out = build_pipeline(25)
+    net.run(timeout=60)
+    assert out == [i * i for i in range(25)]
+
+
+def test_pipeline_with_tiny_channels_backpressure():
+    """Capacity ~one object frame: producer repeatedly blocks; results
+    must be unaffected (bounded channels = fair scheduling, §3.5)."""
+    net, out = build_pipeline(25, capacity=64)
+    net.run(timeout=60)
+    assert out == [i * i for i in range(25)]
+
+
+def test_pipeline_as_composite():
+    net = Network()
+    tasks = net.channel(name="t")
+    results = net.channel(name="r")
+    out = []
+    comp = CompositeProcess(name="pipeline")
+    comp.add(Producer(RangeProducerTask(10, lambda i: CallableTask(abs, -i)),
+                      tasks.get_output_stream()))
+    comp.add(Worker(tasks.get_input_stream(), results.get_output_stream()))
+    comp.add(Consumer(results.get_input_stream(), collect_into=out))
+    net.add(comp)
+    net.run(timeout=60)
+    assert out == list(range(10))
+
+
+def _tens(k: int, i: int) -> int:
+    return k * 10 + i
+
+
+def test_two_pipelines_share_a_network_independently():
+    net = Network()
+    outs = []
+    for k in range(2):
+        tasks = net.channel(name=f"t{k}")
+        results = net.channel(name=f"r{k}")
+        out = []
+        outs.append(out)
+        net.add(Producer(RangeProducerTask(8, lambda i, k=k: CallableTask(
+            _tens, k, i)), tasks.get_output_stream(),
+            name=f"P{k}"))
+        net.add(Worker(tasks.get_input_stream(), results.get_output_stream(),
+                       name=f"W{k}"))
+        net.add(Consumer(results.get_input_stream(), collect_into=out,
+                         name=f"C{k}"))
+    net.run(timeout=60)
+    assert outs[0] == [0 * 10 + i for i in range(8)]
+    assert outs[1] == [1 * 10 + i for i in range(8)]
+
+
+def test_bounded_channel_enforces_fairness():
+    """The producer cannot run unboundedly ahead: in-flight bytes are
+    limited by channel capacity (the §3.5 fairness argument)."""
+    from repro.kpn.process import IterativeProcess
+    from repro.processes.codecs import LONG
+
+    net = Network()
+    ch = net.channel(capacity=80)  # 10 longs
+    high_water = []
+
+    class SlowConsumer(IterativeProcess):
+        def __init__(self, stream):
+            super().__init__(iterations=30)
+            self.stream = stream
+            self.track(stream)
+
+        def step(self):
+            import time
+
+            high_water.append(ch.buffer.available())
+            time.sleep(0.002)
+            LONG.read(self.stream)
+
+    from repro.processes import Sequence
+
+    net.add(Sequence(ch.get_output_stream(), iterations=1000))
+    net.add(SlowConsumer(ch.get_input_stream()))
+    net.run(timeout=60)
+    assert max(high_water) <= 80

@@ -1,0 +1,173 @@
+"""Unit tests for Process / IterativeProcess / CompositeProcess lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.errors import ChannelError, EndOfStreamError
+from repro.kpn import Network
+from repro.kpn.channel import Channel
+from repro.kpn.process import CompositeProcess, IterativeProcess, Process, StopProcess
+
+
+class Recorder(IterativeProcess):
+    """Records lifecycle events; configurable step behaviour."""
+
+    def __init__(self, iterations=0, fail_at=None, stop_at=None,
+                 channel_error_at=None, name=None):
+        super().__init__(iterations=iterations, name=name)
+        self.events = []
+        self.fail_at = fail_at
+        self.stop_at = stop_at
+        self.channel_error_at = channel_error_at
+
+    def on_start(self):
+        self.events.append("start")
+
+    def step(self):
+        n = self.steps_completed
+        if self.fail_at is not None and n >= self.fail_at:
+            raise ValueError("boom")
+        if self.stop_at is not None and n >= self.stop_at:
+            raise StopProcess
+        if self.channel_error_at is not None and n >= self.channel_error_at:
+            raise EndOfStreamError("dry")
+        self.events.append(f"step{n}")
+
+    def on_stop(self):
+        self.events.append("stop")
+        super().on_stop()
+
+
+def test_iteration_limit_runs_exactly_n_steps():
+    p = Recorder(iterations=3)
+    p.run()
+    assert p.events == ["start", "step0", "step1", "step2", "stop"]
+    assert p.steps_completed == 3
+
+
+def test_channel_error_terminates_silently():
+    p = Recorder(channel_error_at=2)
+    p.run()
+    assert p.events == ["start", "step0", "step1", "stop"]
+    assert p.failure is None
+
+
+def test_stop_process_terminates_cleanly():
+    p = Recorder(stop_at=2)
+    p.run()
+    assert p.events == ["start", "step0", "step1", "stop"]
+    assert p.failure is None
+
+
+def test_unexpected_exception_recorded_and_onstop_still_runs():
+    p = Recorder(fail_at=1)
+    p.run()
+    assert p.events == ["start", "step0", "stop"]
+    assert isinstance(p.failure, ValueError)
+
+
+def test_on_stop_closes_tracked_streams():
+    ch_in, ch_out = Channel(64), Channel(64)
+    p = Recorder(iterations=1)
+    p.track(ch_in.get_input_stream(), ch_out.get_output_stream())
+    p.run()
+    assert ch_in.buffer.read_closed
+    assert ch_out.buffer.write_closed
+
+
+def test_untrack_prevents_close():
+    ch = Channel(64)
+    p = Recorder(iterations=1)
+    stream = ch.get_input_stream()
+    p.track(stream)
+    p.untrack(stream)
+    p.run()
+    assert not ch.buffer.read_closed
+
+
+def test_track_rejects_non_stream():
+    p = Recorder()
+    with pytest.raises(TypeError):
+        p.track(object())
+
+
+def test_names_unique_by_default():
+    assert Recorder().name != Recorder().name
+
+
+def test_pickle_state_strips_runtime_fields():
+    p = Recorder(iterations=1)
+    p.network = object()
+    p.failure = ValueError("x")
+    state = p.__getstate__()
+    assert state["network"] is None
+    assert state["failure"] is None
+    assert state["steps_completed"] == 0
+
+
+# ---------------------------------------------------------------------------
+# CompositeProcess
+# ---------------------------------------------------------------------------
+
+def test_composite_runs_all_members_in_threads():
+    members = [Recorder(iterations=1, name=f"m{i}") for i in range(4)]
+    comp = CompositeProcess(members)
+    comp.run()
+    for m in members:
+        assert m.events == ["start", "step0", "stop"]
+
+
+def test_composite_propagates_member_failure():
+    ok = Recorder(iterations=1)
+    bad = Recorder(fail_at=0)
+    comp = CompositeProcess([ok, bad])
+    comp.run()
+    assert isinstance(comp.failure, ValueError)
+
+
+def test_composite_flatten_recursive():
+    leaves = [Recorder(iterations=1) for _ in range(3)]
+    inner = CompositeProcess(leaves[:2])
+    outer = CompositeProcess([inner, leaves[2]])
+    assert set(outer.flatten()) == set(leaves)
+
+
+def test_composite_members_concurrent_not_sequential():
+    """Two members exchanging data through a tiny channel deadlock if run
+    sequentially — the reason composites keep one thread per member."""
+    from repro.processes import Collect, Sequence
+
+    ch = Channel(2)  # far smaller than the traffic
+    out = []
+    comp = CompositeProcess([
+        Sequence(ch.get_output_stream(), start=0, iterations=100),
+        Collect(ch.get_input_stream(), out),
+    ])
+    t = threading.Thread(target=comp.run, daemon=True)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive(), "composite members were not concurrent"
+    assert out == list(range(100))
+
+
+def test_composite_inside_network_inherits_it():
+    net = Network()
+    leaf = Recorder(iterations=1)
+    comp = CompositeProcess([leaf])
+    net.add(comp)
+    assert leaf.network is net
+
+
+def test_spawn_without_network_uses_plain_thread():
+    parent = Recorder(iterations=1)
+    child = Recorder(iterations=1)
+    t = parent.spawn(child)
+    t.join(timeout=10)
+    assert child.events == ["start", "step0", "stop"]
+
+
+def test_new_channel_without_network():
+    p = Recorder()
+    ch = p.new_channel(capacity=32, name="loose")
+    assert ch.capacity == 32

@@ -1,0 +1,136 @@
+"""Cascading termination (paper section 3.4): both modes, full graphs."""
+
+import time
+
+import pytest
+
+from repro.errors import BrokenChannelError, EndOfStreamError
+from repro.kpn import Network
+from repro.kpn.process import IterativeProcess
+from repro.processes import Collect, MapProcess, Print, Sequence
+from repro.processes.networks import newton_sqrt, primes
+from repro.semantics import primes_reference
+
+
+def test_downstream_limit_cuts_upstream():
+    """Sink-limited: upstream writes break once the sink closes (the
+    'first 100 primes' mode) — producers stop 'almost immediately'."""
+    net = Network()
+    ch = net.channel()
+    out = []
+    src = Sequence(ch.get_output_stream(), start=0, iterations=0)  # infinite
+    net.add(src)
+    net.add(Collect(ch.get_input_stream(), out, iterations=7))
+    assert net.run(timeout=30)  # terminates despite the infinite source
+    assert out == list(range(7))
+
+
+def test_upstream_limit_drains_fully():
+    """Source-limited: every produced element is consumed before the
+    network winds down (the 'all primes below 100' mode)."""
+    net = Network()
+    ch = net.channel()
+    out = []
+    net.add(Sequence(ch.get_output_stream(), start=0, iterations=100))
+    net.add(Collect(ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == list(range(100))  # nothing lost
+
+
+def test_cascade_through_long_pipeline():
+    net = Network()
+    stages = 8
+    chans = net.channels_n(stages + 1)
+    out = []
+    net.add(Sequence(chans[0].get_output_stream(), start=1, iterations=0))
+    for i in range(stages):
+        net.add(MapProcess(chans[i].get_input_stream(),
+                           chans[i + 1].get_output_stream(),
+                           lambda x: x + 1, name=f"inc{i}"))
+    net.add(Collect(chans[-1].get_input_stream(), out, iterations=5))
+    net.run(timeout=30)
+    assert out == [1 + stages + k for k in range(5)]
+
+
+def test_sieve_count_mode_vs_below_mode_equal_results():
+    by_count = primes(count=25).run(timeout=60)
+    by_bound = primes(below=by_count[-1] + 1).run(timeout=60)
+    assert by_count == by_bound == primes_reference(count=25)
+
+
+def test_below_mode_consumes_all_data():
+    """Source-limited sieve: no unconsumed elements remain anywhere."""
+    net = Network()
+    built = primes(below=60, network=net)
+    built.run(timeout=60)
+    assert net.total_buffered_bytes() == 0
+
+
+def test_guard_data_dependent_termination():
+    result = newton_sqrt(49.0).run(timeout=30)
+    assert result == [7.0]
+
+
+def test_fanout_termination_reaches_all_branches():
+    """One stopping branch kills the shared Duplicate, then the other
+    branch drains and stops."""
+    from repro.processes import Duplicate
+
+    net = Network()
+    src, left, right = net.channels_n(3)
+    out_left, out_right = [], []
+    net.add(Sequence(src.get_output_stream(), start=0, iterations=0))
+    net.add(Duplicate(src.get_input_stream(),
+                      [left.get_output_stream(), right.get_output_stream()]))
+    net.add(Collect(left.get_input_stream(), out_left, iterations=5))
+    net.add(Collect(right.get_input_stream(), out_right))
+    net.run(timeout=30)
+    assert out_left == list(range(5))
+    # the right branch got a prefix of the same stream (drained after the
+    # duplicate died), at least as long as the left's consumption
+    assert out_right == list(range(len(out_right)))
+    assert len(out_right) >= 5
+
+
+def test_print_iteration_limit(capsys):
+    net = Network()
+    ch = net.channel()
+    net.add(Sequence(ch.get_output_stream(), start=3, iterations=0))
+    net.add(Print(ch.get_input_stream(), iterations=4, prefix="p="))
+    net.run(timeout=30)
+    captured = capsys.readouterr().out
+    assert captured.splitlines() == ["p=3", "p=4", "p=5", "p=6"]
+
+
+def test_all_threads_exit_after_termination():
+    net = Network()
+    built = primes(count=10, network=net)
+    built.run(timeout=60)
+    deadline = time.monotonic() + 10
+    while net.live_threads() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert net.live_threads() == [], "processes left running after termination"
+
+
+class WriteForever(IterativeProcess):
+    def __init__(self, out_stream):
+        super().__init__()
+        self.out = out_stream
+        self.track(out_stream)
+        self.hits = 0
+
+    def step(self):
+        from repro.processes.codecs import LONG
+
+        LONG.write(self.out, self.hits)
+        self.hits += 1
+
+
+def test_writer_sees_broken_channel_not_hang():
+    net = Network()
+    ch = net.channel(capacity=32)
+    w = WriteForever(ch.get_output_stream())
+    net.add(w)
+    net.add(Collect(ch.get_input_stream(), [], iterations=3))
+    assert net.run(timeout=30)
+    assert w.failure is None  # BrokenChannelError handled as termination

@@ -1,0 +1,176 @@
+"""Tracer and graph consistency checker."""
+
+import json
+
+import pytest
+
+from repro.kpn import Network
+from repro.kpn.checker import GraphConsistencyError, Issue, check_network
+from repro.kpn.scheduler import DeadlockPolicy
+from repro.kpn.tracing import Tracer
+from repro.processes import (Collect, Duplicate, FromIterable, MapProcess,
+                             Sequence, fibonacci, hamming, primes)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_tracer_collects_channel_stats():
+    net = Network()
+    ch = net.channel(name="traced")
+    out = []
+    net.add(Sequence(ch.get_output_stream(), iterations=500))
+    net.add(Collect(ch.get_input_stream(), out))
+    with Tracer(net, period=0.001) as tracer:
+        net.run(timeout=60)
+    report = tracer.report()
+    assert report.samples >= 1
+    assert report.channels["traced"].total_bytes == 500 * 8
+    # high-water is sampling-dependent: bounded by capacity, and usually
+    # (but not provably, under scheduler load) nonzero
+    assert 0 <= report.channels["traced"].high_water <= 1024
+    assert report.total_bytes_moved() == 500 * 8
+
+
+def test_tracer_sees_dynamic_channels():
+    net = Network()
+    built = primes(count=10, network=net)
+    with Tracer(net, period=0.001) as tracer:
+        built.run(timeout=60)
+    report = tracer.report()
+    # one channel per inserted Modulo filter, named after the sift
+    assert any("mod" in name for name in report.channels)
+
+
+def test_tracer_records_growth_events():
+    net = Network(policy=DeadlockPolicy(growth_factor=2))
+    built = hamming(25, network=net, channel_capacity=16)
+    with Tracer(net, period=0.002) as tracer:
+        built.run(timeout=120)
+    report = tracer.report()
+    assert report.growth_events
+    grown = {e["channel"] for e in report.growth_events}
+    assert any(report.channels[name].grew for name in grown
+               if name in report.channels)
+
+
+def test_tracer_summary_and_json():
+    net = Network()
+    ch = net.channel(name="j")
+    net.add(Sequence(ch.get_output_stream(), iterations=10))
+    net.add(Collect(ch.get_input_stream(), []))
+    with Tracer(net) as tracer:
+        net.run(timeout=30)
+    report = tracer.report()
+    assert "bytes moved" in report.summary()
+    parsed = json.loads(report.to_json())
+    assert parsed["channels"]["j"]["total_bytes"] == 80
+
+
+def test_tracer_blocked_timeline():
+    net = Network()
+    ch = net.channel(capacity=8)  # tiny: the producer will block
+    out = []
+    net.add(Sequence(ch.get_output_stream(), iterations=2000))
+    net.add(Collect(ch.get_input_stream(), out))
+    with Tracer(net, period=0.0005) as tracer:
+        net.run(timeout=60)
+    r, w = tracer.report().max_blocked()
+    assert w >= 1  # the write-blocked producer was observed
+
+
+# ---------------------------------------------------------------------------
+# checker
+# ---------------------------------------------------------------------------
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+def test_clean_pipeline_passes():
+    net = Network()
+    a, b = net.channels_n(2)
+    net.add(FromIterable(a.get_output_stream(), [1]))
+    net.add(MapProcess(a.get_input_stream(), b.get_output_stream(), abs))
+    net.add(Collect(b.get_input_stream(), []))
+    issues = check_network(net, strict=True)  # must not raise
+    assert not any(i.severity == "error" for i in issues)
+
+
+def test_multi_consumer_detected():
+    net = Network()
+    ch = net.channel()
+    net.add(FromIterable(ch.get_output_stream(), [1]))
+    net.add(Collect(ch.get_input_stream(), [], name="c1"))
+    net.add(Collect(ch.get_input_stream(), [], name="c2"))
+    issues = check_network(net)
+    assert "multi-consumer" in codes(issues)
+    with pytest.raises(GraphConsistencyError):
+        check_network(net, strict=True)
+
+
+def test_multi_producer_detected():
+    net = Network()
+    ch = net.channel()
+    net.add(FromIterable(ch.get_output_stream(), [1], name="p1"))
+    net.add(FromIterable(ch.get_output_stream(), [2], name="p2"))
+    net.add(Collect(ch.get_input_stream(), []))
+    assert "multi-producer" in codes(check_network(net))
+
+
+def test_no_producer_detected():
+    net = Network()
+    ch = net.channel()
+    net.add(Collect(ch.get_input_stream(), []))
+    assert "no-producer" in codes(check_network(net))
+
+
+def test_no_consumer_detected():
+    net = Network()
+    ch = net.channel()
+    net.add(FromIterable(ch.get_output_stream(), [1]))
+    assert "no-consumer" in codes(check_network(net))
+
+
+def test_orphan_channel_warned():
+    net = Network()
+    net.channel(name="floating")
+    assert "orphan-channel" in codes(check_network(net))
+
+
+def test_self_loop_detected():
+    net = Network()
+    ch = net.channel()
+    net.add(MapProcess(ch.get_input_stream(), ch.get_output_stream(), abs,
+                       name="ouroboros"))
+    assert "self-loop" in codes(check_network(net))
+
+
+def test_cycle_reported_as_info_with_monitor():
+    built = fibonacci(5)
+    issues = check_network(built.network)
+    assert "cycle" in codes(issues)
+    assert not any(i.severity == "error" for i in issues)
+
+
+def test_cycle_warned_without_monitor():
+    net = Network(bounded=False)
+    built = fibonacci(5, network=net)
+    issues = check_network(built.network)
+    assert "cycle-unbounded-monitorless" in codes(issues)
+
+
+def test_non_terminating_flagged():
+    net = Network()
+    ch = net.channel()
+    net.add(Sequence(ch.get_output_stream()))          # unbounded
+    net.add(Collect(ch.get_input_stream(), []))        # unbounded
+    assert "non-terminating" in codes(check_network(net))
+
+
+def test_checked_graph_actually_runs():
+    """A graph that passes strict checking runs to completion."""
+    built = fibonacci(10)
+    check_network(built.network, strict=True)
+    assert built.run(timeout=60) == [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]

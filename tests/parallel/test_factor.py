@@ -1,0 +1,167 @@
+"""Number theory and factorization tasks (paper section 5.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.factor import (DEFAULT_BATCH, FactorProducerTask,
+                                   FactorResult, FactorWorkerTask,
+                                   factor_search_sequential, is_probable_prime,
+                                   make_weak_key, random_prime,
+                                   solve_difference)
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+                59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+# ---------------------------------------------------------------------------
+# primality
+# ---------------------------------------------------------------------------
+
+def test_small_primes_accepted():
+    for p in SMALL_PRIMES:
+        assert is_probable_prime(p), p
+
+
+def test_small_composites_rejected():
+    composites = sorted(set(range(4, 100)) - set(SMALL_PRIMES))
+    for c in composites:
+        assert not is_probable_prime(c), c
+
+
+def test_edge_cases():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(1)
+    assert not is_probable_prime(-7)
+
+
+@given(st.integers(min_value=2, max_value=10 ** 6))
+@settings(max_examples=200, deadline=None)
+def test_miller_rabin_matches_trial_division(n):
+    def trial(n):
+        if n < 2:
+            return False
+        return all(n % d for d in range(2, math.isqrt(n) + 1))
+
+    assert is_probable_prime(n) == trial(n)
+
+
+def test_carmichael_numbers_rejected():
+    for c in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+        assert not is_probable_prime(c), c
+
+
+@pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+def test_random_prime_bit_length(bits):
+    import random
+
+    p = random_prime(bits, random.Random(1))
+    assert p.bit_length() == bits
+    assert is_probable_prime(p)
+
+
+# ---------------------------------------------------------------------------
+# solve_difference
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=10 ** 9),
+       st.integers(min_value=0, max_value=10 ** 4).map(lambda d: 2 * d))
+@settings(max_examples=100, deadline=None)
+def test_solve_difference_finds_planted_factor(p, d):
+    n = p * (p + d)
+    assert solve_difference(n, d) == p
+
+
+def test_solve_difference_rejects_wrong_difference():
+    p, d = 101, 4
+    n = p * (p + d)
+    assert solve_difference(n, d + 2) is None
+    assert solve_difference(n, d - 2) is None
+
+
+def test_solve_difference_non_square_discriminant():
+    assert solve_difference(7, 0) is None  # 7 is prime, not a square
+
+
+def test_solve_difference_exact_square_n():
+    assert solve_difference(49, 0) == 7
+
+
+@given(st.integers(min_value=2, max_value=10 ** 6),
+       st.integers(min_value=0, max_value=100).map(lambda d: 2 * d))
+@settings(max_examples=100, deadline=None)
+def test_solve_difference_never_false_positive(n, d):
+    p = solve_difference(n, d)
+    if p is not None:
+        assert p * (p + d) == n
+
+
+# ---------------------------------------------------------------------------
+# make_weak_key placement
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("task_index", [0, 1, 5, 17])
+def test_weak_key_lands_in_requested_task(task_index):
+    n, p, d = make_weak_key(bits=40, found_at_task=task_index, seed=3)
+    assert p * (p + d) == n
+    assert d // (2 * DEFAULT_BATCH) == task_index
+
+
+def test_weak_key_even_difference():
+    _, _, d = make_weak_key(bits=32, found_at_task=2, seed=9)
+    assert d % 2 == 0
+
+
+def test_weak_key_deterministic_with_seed():
+    assert make_weak_key(bits=32, found_at_task=1, seed=5) == \
+        make_weak_key(bits=32, found_at_task=1, seed=5)
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+def test_worker_task_finds_factor_in_batch():
+    n, p, d = make_weak_key(bits=40, found_at_task=0, seed=1)
+    result = FactorWorkerTask(n, 0, d_start=0).run()
+    assert result.found and result.p == p and result.d == d
+
+
+def test_worker_task_misses_outside_batch():
+    n, p, d = make_weak_key(bits=40, found_at_task=3, seed=1)
+    result = FactorWorkerTask(n, 0, d_start=0).run()
+    assert not result.found
+
+
+def test_producer_emits_contiguous_batches():
+    producer = FactorProducerTask(1234567, batch=8, max_tasks=4)
+    tasks = []
+    while (t := producer.run()) is not None:
+        tasks.append(t)
+    assert [t.d_start for t in tasks] == [0, 16, 32, 48]
+    assert all(t.d_count == 8 for t in tasks)
+
+
+def test_producer_unlimited_keeps_going():
+    producer = FactorProducerTask(99, batch=4)
+    for _ in range(100):
+        assert producer.run() is not None
+
+
+def test_sequential_search_finds_planted_key():
+    n, p, d = make_weak_key(bits=48, found_at_task=7, seed=11)
+    result = factor_search_sequential(n)
+    assert result.found and result.p == p and result.task_index == 7
+
+
+def test_sequential_search_respects_max_tasks():
+    n, p, d = make_weak_key(bits=48, found_at_task=10, seed=11)
+    assert factor_search_sequential(n, max_tasks=5) is None
+
+
+def test_factor_result_consumer_role():
+    r = FactorResult(0, 0, 32, p=7, d=0)
+    assert r.run() is r
+    assert r.found
+    assert not FactorResult(1, 64, 32).found

@@ -1,0 +1,153 @@
+"""Generic Producer/Worker/Consumer semantics (paper section 5.1)."""
+
+import pytest
+
+from repro.kpn import Network
+from repro.parallel import (STOP, CallableTask, Consumer, Producer,
+                            RangeProducerTask, ResultTask, Worker)
+
+
+class CountdownProducerTask:
+    """Emits ResultTask(k) for k = n-1 .. 0, then None."""
+
+    def __init__(self, n):
+        self.remaining = n
+
+    def run(self):
+        if self.remaining <= 0:
+            return None
+        self.remaining -= 1
+        return ResultTask(self.remaining)
+
+
+class StopAtTask:
+    """Consumer task returning STOP at a trigger value."""
+
+    def __init__(self, value, trigger):
+        self.value = value
+        self.trigger = trigger
+
+    def run(self):
+        return STOP if self.value == self.trigger else self.value
+
+
+def farm(producer_task, producer_iterations=0, consumer_kwargs=None,
+         worker=True):
+    net = Network()
+    t, r = net.channels_n(2)
+    out = []
+    kwargs = dict(collect_into=out)
+    kwargs.update(consumer_kwargs or {})
+    net.add(Producer(producer_task, t.get_output_stream(),
+                     iterations=producer_iterations))
+    if worker:
+        net.add(Worker(t.get_input_stream(), r.get_output_stream()))
+        net.add(Consumer(r.get_input_stream(), **kwargs))
+    else:
+        net.add(Consumer(t.get_input_stream(), **kwargs))
+    net.run(timeout=60)
+    return net, out
+
+
+def test_producer_stops_on_none():
+    _, out = farm(CountdownProducerTask(5), worker=False)
+    # consumer runs the ResultTasks; collected values are their payloads
+    assert out == [4, 3, 2, 1, 0]
+
+
+def test_producer_iteration_limit():
+    _, out = farm(RangeProducerTask(1000, ResultTask), producer_iterations=6,
+                  worker=False)
+    assert out == [0, 1, 2, 3, 4, 5]
+
+
+def test_worker_runs_tasks_and_counts():
+    net = Network()
+    t, r = net.channels_n(2)
+    out = []
+    net.add(Producer(RangeProducerTask(9, lambda i: CallableTask(pow, i, 2)),
+                     t.get_output_stream()))
+    w = Worker(t.get_input_stream(), r.get_output_stream())
+    net.add(w)
+    net.add(Consumer(r.get_input_stream(), collect_into=out))
+    net.run(timeout=60)
+    assert out == [i * i for i in range(9)]
+    assert w.tasks_processed == 9
+
+
+def test_consumer_stop_sentinel_terminates_network():
+    producer = RangeProducerTask(10 ** 9, lambda i: StopAtTask(i, trigger=4))
+    net, out = farm(producer, worker=False)
+    assert out[-1] == STOP
+    assert out[:-1] == [0, 1, 2, 3]
+
+
+def test_consumer_stop_when_predicate():
+    producer = RangeProducerTask(10 ** 9, ResultTask)
+    _, out = farm(producer, consumer_kwargs={"stop_when": lambda v: v >= 7},
+                  worker=False)
+    assert out == [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+def test_consumer_iteration_limit():
+    producer = RangeProducerTask(10 ** 9, ResultTask)
+    _, out = farm(producer, consumer_kwargs={"iterations": 5}, worker=False)
+    assert out == [0, 1, 2, 3, 4]
+
+
+class Bare:
+    """A value object with no run() method."""
+
+    def __init__(self, i):
+        self.i = i
+
+    def __eq__(self, other):
+        return isinstance(other, Bare) and other.i == self.i
+
+
+def test_consumer_accepts_bare_values():
+    """Objects without run() are their own result."""
+    producer = RangeProducerTask(3, Bare)
+    _, out = farm(producer, worker=False)
+    assert out == [Bare(0), Bare(1), Bare(2)]
+
+
+def test_worker_slowdown_delays_but_preserves_results():
+    import time
+
+    net = Network()
+    t, r = net.channels_n(2)
+    out = []
+    net.add(Producer(RangeProducerTask(5, ResultTask), t.get_output_stream()))
+    net.add(Worker(t.get_input_stream(), r.get_output_stream(),
+                   slowdown=0.01))
+    net.add(Consumer(r.get_input_stream(), collect_into=out))
+    t0 = time.perf_counter()
+    net.run(timeout=60)
+    assert time.perf_counter() - t0 >= 0.05
+    # ResultTask.run returns the payload; worker result is the payload,
+    # which has no run() -> consumer collects it bare
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_worker_getstate_resets_counter():
+    net = Network()
+    t, r = net.channels_n(2)
+    w = Worker(t.get_input_stream(), r.get_output_stream())
+    w.tasks_processed = 7
+    assert w.__getstate__()["tasks_processed"] == 0
+
+
+def test_early_stop_cascades_to_producer_and_worker():
+    """Consumer STOP must terminate the whole farm ('unnecessary
+    computation ... but all of the processes do terminate')."""
+    net = Network()
+    t, r = net.channels_n(2, capacity=256)
+    out = []
+    net.add(Producer(RangeProducerTask(10 ** 9, lambda i: CallableTask(abs, i)),
+                     t.get_output_stream(), name="P"))
+    net.add(Worker(t.get_input_stream(), r.get_output_stream(), name="W"))
+    net.add(Consumer(r.get_input_stream(), collect_into=out,
+                     stop_when=lambda v: v >= 3, name="C"))
+    assert net.run(timeout=60)  # must not hang on the "infinite" producer
+    assert out[:4] == [0, 1, 2, 3]

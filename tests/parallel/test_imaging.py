@@ -1,0 +1,119 @@
+"""Block image compression workload (paper section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.imaging import (BLOCK, BlockTask, CompressedBlock,
+                                    ImageProducerTask, compress_block,
+                                    decompress_block, join_blocks,
+                                    random_image, reassemble, split_blocks)
+from repro.parallel import run_farm
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+def test_block_codec_lossless():
+    tile = random_image(BLOCK, BLOCK, seed=5)
+    assert np.array_equal(decompress_block(compress_block(tile)), tile)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_block_codec_lossless_property(seed):
+    tile = random_image(BLOCK, BLOCK, seed=seed)
+    assert np.array_equal(decompress_block(compress_block(tile)), tile)
+
+
+def test_codec_compresses_smooth_blocks():
+    smooth = np.full((BLOCK, BLOCK), 128, dtype=np.uint8)
+    assert len(compress_block(smooth)) < smooth.nbytes // 4
+
+
+def test_codec_handles_extreme_values():
+    tile = np.zeros((BLOCK, BLOCK), dtype=np.uint8)
+    tile[:, ::2] = 255
+    assert np.array_equal(decompress_block(compress_block(tile)), tile)
+
+
+# ---------------------------------------------------------------------------
+# tiling
+# ---------------------------------------------------------------------------
+
+def test_split_join_roundtrip_exact_multiple():
+    img = random_image(64, 48, seed=2)
+    blocks = split_blocks(img)
+    assert len(blocks) == (64 // 16) * (48 // 16)
+    assert np.array_equal(join_blocks(blocks, 64, 48), img)
+
+
+@given(st.integers(min_value=1, max_value=70),
+       st.integers(min_value=1, max_value=70))
+@settings(max_examples=30, deadline=None)
+def test_split_join_roundtrip_any_shape(h, w):
+    img = random_image(max(h, 8), max(w, 8), seed=h * 100 + w)[:h, :w]
+    blocks = split_blocks(img)
+    assert np.array_equal(join_blocks(blocks, h, w), img)
+
+
+def test_blocks_are_padded_to_full_size():
+    img = random_image(20, 20, seed=1)
+    for tile in split_blocks(img):
+        assert tile.shape == (BLOCK, BLOCK)
+
+
+# ---------------------------------------------------------------------------
+# tasks and producer
+# ---------------------------------------------------------------------------
+
+def test_block_task_chain():
+    img = random_image(16, 16, seed=4)
+    task = BlockTask(0, img)
+    compressed = task.run()
+    assert isinstance(compressed, CompressedBlock)
+    index, payload = compressed.run()
+    assert index == 0
+    assert np.array_equal(decompress_block(payload), img)
+
+
+def test_producer_emits_all_blocks_then_none():
+    img = random_image(32, 48, seed=6)
+    producer = ImageProducerTask(img)
+    tasks = []
+    while (t := producer.run()) is not None:
+        tasks.append(t)
+    assert [t.index for t in tasks] == list(range(2 * 3))
+
+
+# ---------------------------------------------------------------------------
+# parallel end-to-end
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode,n_workers", [
+    ("pipeline", 1), ("static", 3), ("dynamic", 4)])
+def test_parallel_compression_lossless(mode, n_workers):
+    img = random_image(48, 64, seed=8)
+    collected = run_farm(ImageProducerTask(img), n_workers=n_workers,
+                         mode=mode, timeout=120)
+    restored = reassemble(collected, *img.shape)
+    assert np.array_equal(restored, img)
+
+
+def test_reassemble_rejects_out_of_order():
+    img = random_image(32, 32, seed=9)
+    collected = run_farm(ImageProducerTask(img), n_workers=2, mode="dynamic",
+                         timeout=120)
+    swapped = [collected[1], collected[0]] + collected[2:]
+    with pytest.raises(AssertionError, match="out of order"):
+        reassemble(swapped, *img.shape)
+
+
+def test_parallel_matches_sequential_compression():
+    img = random_image(48, 48, seed=10)
+    sequential = [(i, compress_block(b))
+                  for i, b in enumerate(split_blocks(img))]
+    parallel = run_farm(ImageProducerTask(img), n_workers=3, mode="dynamic",
+                        timeout=120)
+    assert parallel == sequential

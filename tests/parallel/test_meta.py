@@ -1,0 +1,129 @@
+"""MetaStatic / MetaDynamic equivalence and load-balancing behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kpn import Network
+from repro.parallel import (CallableTask, FactorConsumerResult,
+                            FactorProducerTask, FactorResult,
+                            RangeProducerTask, build_farm, make_weak_key,
+                            run_farm)
+
+
+def tag_producer(n):
+    return RangeProducerTask(n, lambda i: CallableTask(pow, i, 2))
+
+
+# ---------------------------------------------------------------------------
+# equivalence: "from the point of view of the producer and consumer
+# processes, equivalent to a single worker"
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["static", "dynamic"])
+@pytest.mark.parametrize("n_workers", [1, 2, 3, 5])
+def test_meta_equals_pipeline(mode, n_workers):
+    expected = run_farm(tag_producer(20), mode="pipeline", timeout=60)
+    got = run_farm(tag_producer(20), n_workers=n_workers, mode=mode,
+                   timeout=60)
+    assert got == expected == [i * i for i in range(20)]
+
+
+@given(st.integers(min_value=0, max_value=40),
+       st.integers(min_value=1, max_value=6),
+       st.sampled_from(["static", "dynamic"]))
+@settings(max_examples=15, deadline=None)
+def test_meta_order_preservation_property(n_tasks, n_workers, mode):
+    got = run_farm(tag_producer(n_tasks), n_workers=n_workers, mode=mode,
+                   timeout=120)
+    assert got == [i * i for i in range(n_tasks)]
+
+
+def test_meta_with_heterogeneous_slowdowns_still_ordered():
+    slow = [0.0, 0.01, 0.002, 0.02]
+    for mode in ("static", "dynamic"):
+        got = run_farm(tag_producer(24), n_workers=4, mode=mode,
+                       slowdowns=slow, timeout=120)
+        assert got == [i * i for i in range(24)]
+
+
+# ---------------------------------------------------------------------------
+# load balancing: dynamic gives fast workers more tasks
+# ---------------------------------------------------------------------------
+
+def test_static_task_counts_equal():
+    handle = build_farm(tag_producer(20), n_workers=4, mode="static")
+    handle.run(timeout=120)
+    counts = [w.tasks_processed for w in handle.harness.workers]
+    assert counts == [5, 5, 5, 5]
+
+
+def test_dynamic_favours_fast_workers():
+    handle = build_farm(tag_producer(60), n_workers=3, mode="dynamic",
+                        slowdowns=[0.0, 0.03, 0.03])
+    handle.run(timeout=120)
+    counts = [w.tasks_processed for w in handle.harness.workers]
+    assert sum(counts) == 60
+    assert counts[0] > counts[1] and counts[0] > counts[2]
+
+
+def test_dynamic_all_workers_get_initial_task():
+    handle = build_farm(tag_producer(12), n_workers=4, mode="dynamic")
+    handle.run(timeout=120)
+    counts = [w.tasks_processed for w in handle.harness.workers]
+    assert sum(counts) == 12
+    assert all(c >= 1 for c in counts)
+
+
+def test_fewer_tasks_than_workers():
+    for mode in ("static", "dynamic"):
+        got = run_farm(tag_producer(2), n_workers=5, mode=mode, timeout=60)
+        assert got == [0, 1]
+
+
+def test_zero_tasks():
+    for mode in ("static", "dynamic"):
+        assert run_farm(tag_producer(0), n_workers=3, mode=mode,
+                        timeout=60) == []
+
+
+# ---------------------------------------------------------------------------
+# early termination through the meta compositions
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["static", "dynamic"])
+def test_factor_early_stop_through_meta(mode):
+    n, p, d = make_weak_key(bits=48, found_at_task=6, seed=13)
+    results = run_farm(FactorProducerTask(n, max_tasks=500), n_workers=4,
+                       mode=mode, stop_when=FactorConsumerResult.stop_when,
+                       timeout=120)
+    hits = [r for r in results if isinstance(r, FactorResult) and r.found]
+    assert hits and hits[0].p == p
+    # results arrive in task order; the hit is the last collected value
+    assert results[-1].found
+    assert [r.task_index for r in results] == list(range(len(results)))
+
+
+def test_farm_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        build_farm(tag_producer(1), mode="quantum")
+
+
+def test_distribute_ships_workers_to_cluster():
+    from repro.distributed import LocalCluster
+
+    with LocalCluster(2, mode="thread") as cluster:
+        got = run_farm(tag_producer(15), n_workers=3, mode="dynamic",
+                       cluster=cluster, timeout=120)
+        assert got == [i * i for i in range(15)]
+        stats = cluster.stats()
+        hosted = sum(s["processes_hosted"] for s in stats.values())
+        assert hosted == 3  # all three workers went remote
+
+
+def test_distribute_static_mode_through_cluster():
+    from repro.distributed import LocalCluster
+
+    with LocalCluster(2, mode="thread") as cluster:
+        got = run_farm(tag_producer(10), n_workers=2, mode="static",
+                       cluster=cluster, timeout=120)
+        assert got == [i * i for i in range(10)]

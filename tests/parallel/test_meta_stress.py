@@ -1,0 +1,58 @@
+"""MetaDynamic under stress: many workers, jittered speeds, volume."""
+
+import random
+
+import pytest
+
+from repro.parallel import (CallableTask, RangeProducerTask, build_farm,
+                            run_farm)
+
+
+def test_dynamic_16_workers_200_tasks_ordered():
+    got = run_farm(RangeProducerTask(200, lambda i: CallableTask(pow, i, 2)),
+                   n_workers=16, mode="dynamic", timeout=300)
+    assert got == [i * i for i in range(200)]
+
+
+def test_dynamic_random_jitter_still_ordered():
+    rng = random.Random(7)
+    slowdowns = [rng.uniform(0, 0.004) for _ in range(8)]
+    got = run_farm(RangeProducerTask(80, lambda i: CallableTask(abs, -i)),
+                   n_workers=8, mode="dynamic", slowdowns=slowdowns,
+                   timeout=300)
+    assert got == list(range(80))
+
+
+def test_static_vs_dynamic_same_results_at_scale():
+    outs = {}
+    for mode in ("static", "dynamic"):
+        outs[mode] = run_farm(
+            RangeProducerTask(150, lambda i: CallableTask(pow, i, 3)),
+            n_workers=12, mode=mode, timeout=300)
+    assert outs["static"] == outs["dynamic"] == [i ** 3 for i in range(150)]
+
+
+def test_dynamic_utilizes_every_worker_at_volume():
+    handle = build_farm(RangeProducerTask(120, lambda i: CallableTask(abs, i)),
+                        n_workers=10, mode="dynamic")
+    handle.run(timeout=300)
+    counts = [w.tasks_processed for w in handle.harness.workers]
+    assert sum(counts) == 120
+    assert all(c >= 1 for c in counts)
+
+
+def test_repeated_dynamic_runs_identical():
+    results = []
+    for _ in range(4):
+        results.append(run_farm(
+            RangeProducerTask(40, lambda i: CallableTask(pow, i, 2)),
+            n_workers=6, mode="dynamic", timeout=300))
+    assert all(r == results[0] for r in results)
+
+
+@pytest.mark.parametrize("capacity", [256, 4096])
+def test_dynamic_small_channels_no_deadlock(capacity):
+    got = run_farm(RangeProducerTask(60, lambda i: CallableTask(abs, i)),
+                   n_workers=5, mode="dynamic", timeout=300,
+                   channel_capacity=capacity)
+    assert got == list(range(60))

@@ -1,0 +1,51 @@
+"""Task protocol helpers."""
+
+import pickle
+
+from repro.parallel.tasks import (STOP, CallableTask, RangeProducerTask,
+                                  ResultTask, Task)
+
+
+def test_callable_task_runs_with_args():
+    assert CallableTask(divmod, 17, 5).run() == (3, 2)
+
+
+def test_callable_task_kwargs():
+    assert CallableTask(int, "ff", base=16).run() == 255
+
+
+def test_callable_task_pickles():
+    clone = pickle.loads(pickle.dumps(CallableTask(pow, 2, 8)))
+    assert clone.run() == 256
+
+
+def test_range_producer_emits_then_none():
+    producer = RangeProducerTask(3, ResultTask)
+    emitted = [producer.run() for _ in range(5)]
+    assert [e.value for e in emitted[:3]] == [0, 1, 2]
+    assert emitted[3] is None and emitted[4] is None
+
+
+def test_range_producer_zero():
+    assert RangeProducerTask(0, ResultTask).run() is None
+
+
+def test_result_task_returns_value():
+    assert ResultTask({"k": 1}).run() == {"k": 1}
+
+
+def test_result_task_pickles():
+    assert pickle.loads(pickle.dumps(ResultTask(9))).run() == 9
+
+
+def test_task_protocol_structural():
+    class Quacks:
+        def run(self):
+            return 1
+
+    assert isinstance(Quacks(), Task)
+    assert not isinstance(object(), Task)
+
+
+def test_stop_sentinel_is_stable_across_pickle():
+    assert pickle.loads(pickle.dumps(STOP)) == STOP

@@ -1,0 +1,125 @@
+"""Extra workloads: pi, Mandelbrot, matmul — through every farm mode."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel import run_farm
+from repro.parallel.workloads import (MandelbrotProducerTask,
+                                      MandelbrotRowTask, MatmulProducerTask,
+                                      PiBatchTask, PiProducerTask,
+                                      assemble_mandelbrot, assemble_matmul,
+                                      estimate_pi_from_results)
+
+
+# ---------------------------------------------------------------------------
+# Monte Carlo pi
+# ---------------------------------------------------------------------------
+
+def test_pi_single_task_deterministic():
+    a = PiBatchTask(3, 1000, seed=7).run()
+    b = PiBatchTask(3, 1000, seed=7).run()
+    assert (a.hits, a.samples) == (b.hits, b.samples)
+
+
+def test_pi_estimate_reasonable():
+    results = run_farm(PiProducerTask(20, 5000, seed=1), n_workers=4,
+                       mode="dynamic", timeout=120)
+    estimate = estimate_pi_from_results(results)
+    assert abs(estimate - math.pi) < 0.05
+
+
+def test_pi_identical_across_modes():
+    outs = {}
+    for mode in ("pipeline", "static", "dynamic"):
+        results = run_farm(PiProducerTask(12, 2000, seed=5), n_workers=3,
+                           mode=mode, timeout=120)
+        outs[mode] = [(r.batch_index, r.hits) for r in results]
+    assert outs["pipeline"] == outs["static"] == outs["dynamic"]
+
+
+def test_pi_empty():
+    assert estimate_pi_from_results([]) != estimate_pi_from_results([])  # nan
+
+
+# ---------------------------------------------------------------------------
+# Mandelbrot
+# ---------------------------------------------------------------------------
+
+def test_mandelbrot_row_inside_point_maxes_out():
+    row_task = MandelbrotRowTask(0, 1, 1, x_range=(0.0, 0.0),
+                                 y_range=(0.0, 0.0), max_iter=50)
+    assert row_task.run().counts == (50,)
+
+
+def test_mandelbrot_row_outside_point_escapes_fast():
+    row_task = MandelbrotRowTask(0, 1, 1, x_range=(2.0, 2.0),
+                                 y_range=(2.0, 2.0), max_iter=50)
+    assert row_task.run().counts[0] <= 2
+
+
+@pytest.mark.parametrize("mode", ["static", "dynamic"])
+def test_mandelbrot_parallel_matches_sequential(mode):
+    w, h = 40, 24
+    sequential = [MandelbrotRowTask(r, w, h, max_iter=40).run()
+                  for r in range(h)]
+    parallel = run_farm(MandelbrotProducerTask(w, h, max_iter=40),
+                        n_workers=4, mode=mode, timeout=180)
+    img_seq = assemble_mandelbrot(sequential, w, h)
+    img_par = assemble_mandelbrot(parallel, w, h)
+    assert np.array_equal(img_seq, img_par)
+
+
+def test_mandelbrot_missing_row_detected():
+    w, h = 8, 4
+    rows = [MandelbrotRowTask(r, w, h).run() for r in range(h - 1)]
+    with pytest.raises(AssertionError, match="missing rows"):
+        assemble_mandelbrot(rows, w, h)
+
+
+def test_mandelbrot_cost_is_nonuniform():
+    """Rows near the real axis take more iterations in total — the
+    heterogeneous-task-cost property dynamic balancing exploits."""
+    w, h = 60, 21
+    totals = [sum(MandelbrotRowTask(r, w, h, max_iter=100).run().counts)
+              for r in range(h)]
+    assert max(totals) > 2 * min(totals)
+
+
+# ---------------------------------------------------------------------------
+# block matmul
+# ---------------------------------------------------------------------------
+
+def test_matmul_exact():
+    rng = np.random.default_rng(3)
+    a = rng.integers(-5, 5, size=(48, 40)).astype(np.int64)
+    b = rng.integers(-5, 5, size=(40, 56)).astype(np.int64)
+    results = run_farm(MatmulProducerTask(a, b, block=16), n_workers=4,
+                       mode="dynamic", timeout=180)
+    c = assemble_matmul(results, (48, 56), block=16)
+    assert np.array_equal(c, a @ b)
+
+
+def test_matmul_non_multiple_shapes():
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((37, 23))
+    b = rng.standard_normal((23, 29))
+    results = run_farm(MatmulProducerTask(a, b, block=16), n_workers=3,
+                       mode="static", timeout=180)
+    c = assemble_matmul(results, (37, 29), block=16)
+    assert np.allclose(c, a @ b)
+
+
+def test_matmul_dimension_mismatch():
+    with pytest.raises(ValueError):
+        MatmulProducerTask(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+def test_matmul_task_count():
+    producer = MatmulProducerTask(np.zeros((64, 8)), np.zeros((8, 48)),
+                                  block=32)
+    tasks = []
+    while (t := producer.run()) is not None:
+        tasks.append(t)
+    assert len(tasks) == 2 * 2  # ceil(64/32) * ceil(48/32)

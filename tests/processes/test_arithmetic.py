@@ -1,0 +1,94 @@
+"""Arithmetic processes: Add/Subtract/Multiply/Divide/Average/Equal/ModuloFilter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kpn import Network
+from repro.processes import (Add, Average, Collect, Divide, Equal, FromIterable,
+                             ModuloFilter, Multiply, Subtract)
+from repro.processes.codecs import BOOL, DOUBLE
+
+
+def run_binary(cls, left, right, codec="long", out_codec=None):
+    net = Network()
+    a, b, c = net.channels_n(3)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), left, codec=codec))
+    net.add(FromIterable(b.get_output_stream(), right, codec=codec))
+    net.add(cls(a.get_input_stream(), b.get_input_stream(),
+                c.get_output_stream(), codec=codec))
+    net.add(Collect(c.get_input_stream(), out, codec=out_codec or codec))
+    net.run(timeout=30)
+    return out
+
+
+def test_add():
+    assert run_binary(Add, [1, 2, 3], [10, 20, 30]) == [11, 22, 33]
+
+
+def test_subtract():
+    assert run_binary(Subtract, [10, 10], [1, 2]) == [9, 8]
+
+
+def test_multiply():
+    assert run_binary(Multiply, [3, -4], [5, 5]) == [15, -20]
+
+
+def test_divide_doubles():
+    assert run_binary(Divide, [9.0, 1.0], [3.0, 4.0], codec=DOUBLE) == [3.0, 0.25]
+
+
+def test_average():
+    assert run_binary(Average, [2.0, 10.0], [4.0, 0.0], codec=DOUBLE) == [3.0, 5.0]
+
+
+def test_equal_emits_bools():
+    assert run_binary(Equal, [1, 2, 3], [1, 5, 3], out_codec=BOOL) == \
+        [True, False, True]
+
+
+def test_binary_output_length_is_min_of_inputs():
+    assert run_binary(Add, [1, 2, 3, 4, 5], [10, 20]) == [11, 22]
+
+
+@given(st.lists(st.integers(min_value=-10 ** 9, max_value=10 ** 9), max_size=30),
+       st.lists(st.integers(min_value=-10 ** 9, max_value=10 ** 9), max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_add_matches_zip_property(left, right):
+    assert run_binary(Add, left, right) == [a + b for a, b in zip(left, right)]
+
+
+def test_modulo_filter_drops_multiples():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), list(range(1, 20))))
+    net.add(ModuloFilter(a.get_input_stream(), b.get_output_stream(), 3))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [x for x in range(1, 20) if x % 3 != 0]
+
+
+def test_modulo_filter_all_dropped_yields_empty():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), [2, 4, 6]))
+    net.add(ModuloFilter(a.get_input_stream(), b.get_output_stream(), 2))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == []
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000), max_size=40),
+       st.integers(min_value=2, max_value=13))
+@settings(max_examples=25, deadline=None)
+def test_modulo_filter_property(values, divisor):
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), values))
+    net.add(ModuloFilter(a.get_input_stream(), b.get_output_stream(), divisor))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [v for v in values if v % divisor != 0]

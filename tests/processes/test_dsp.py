@@ -1,0 +1,225 @@
+"""DSP process blocks: behaviour, edge cases, and compiler agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kpn import Network
+from repro.processes import Collect, FromIterable
+from repro.processes.dsp import (Accumulate, Delay, Downsample, FIRFilter,
+                                 MovingAverage, Unzip, Upsample, Window, Zip)
+from repro.semantics.compile import compile_network
+
+
+def run_block(factory, data, in_codec="double", out_codec="double",
+              compile_check=True):
+    """Run data through one block; optionally check the derived kernel."""
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), data, codec=in_codec))
+    net.add(factory(a.get_input_stream(), b.get_output_stream()))
+    net.add(Collect(b.get_input_stream(), out, codec=out_codec))
+    predicted = None
+    if compile_check:
+        predicted = compile_network(net).predict("ch-1")
+    net.run(timeout=60)
+    if compile_check:
+        assert list(predicted) == out, "kernel disagrees with runtime"
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Delay
+# ---------------------------------------------------------------------------
+
+def test_delay_prepends_initial():
+    assert run_block(lambda i, o: Delay(i, o, [0.0, 0.0]), [1.0, 2.0]) == \
+        [0.0, 0.0, 1.0, 2.0]
+
+
+def test_delay_empty_initial_is_identity():
+    assert run_block(lambda i, o: Delay(i, o, []), [5.0]) == [5.0]
+
+
+# ---------------------------------------------------------------------------
+# FIR / moving average
+# ---------------------------------------------------------------------------
+
+def test_fir_identity_filter():
+    assert run_block(lambda i, o: FIRFilter(i, o, [1.0]), [3.0, 1.0, 4.0]) == \
+        [3.0, 1.0, 4.0]
+
+
+def test_fir_difference_filter():
+    out = run_block(lambda i, o: FIRFilter(i, o, [1.0, -1.0]),
+                    [1.0, 4.0, 9.0, 16.0])
+    assert out == [3.0, 5.0, 7.0]
+
+
+def test_fir_valid_mode_length():
+    out = run_block(lambda i, o: FIRFilter(i, o, [0.5, 0.5, 0.0]),
+                    [1.0] * 10)
+    assert len(out) == 8
+
+
+def test_fir_rejects_empty_coeffs():
+    net = Network()
+    a, b = net.channels_n(2)
+    with pytest.raises(ValueError):
+        FIRFilter(a.get_input_stream(), b.get_output_stream(), [])
+
+
+def test_moving_average_smooths():
+    out = run_block(lambda i, o: MovingAverage(i, o, 3),
+                    [1.0, 2.0, 3.0, 4.0, 5.0])
+    assert out == pytest.approx([2.0, 3.0, 4.0])
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100,
+                          allow_nan=False), min_size=3, max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_moving_average_matches_numpy(data):
+    import numpy as np
+
+    out = run_block(lambda i, o: MovingAverage(i, o, 3), data,
+                    compile_check=False)
+    expect = np.convolve(data, np.ones(3) / 3, mode="valid")
+    assert out == pytest.approx(list(expect), rel=1e-9, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# rate changers
+# ---------------------------------------------------------------------------
+
+def test_downsample_keeps_group_heads():
+    assert run_block(lambda i, o: Downsample(i, o, 3),
+                     [float(x) for x in range(10)]) == [0.0, 3.0, 6.0, 9.0]
+
+
+def test_downsample_factor_one_is_identity():
+    assert run_block(lambda i, o: Downsample(i, o, 1), [1.0, 2.0]) == [1.0, 2.0]
+
+
+def test_upsample_inserts_fill():
+    assert run_block(lambda i, o: Upsample(i, o, 3, fill=-1.0), [1.0, 2.0]) == \
+        [1.0, -1.0, -1.0, 2.0, -1.0, -1.0]
+
+
+def test_down_up_roundtrip_structure():
+    data = [float(x) for x in range(12)]
+    down = run_block(lambda i, o: Downsample(i, o, 4), data)
+    up = run_block(lambda i, o: Upsample(i, o, 4), down)
+    assert up[::4] == down
+
+
+@pytest.mark.parametrize("cls,kwargs", [(Downsample, {"k": 0}),
+                                        (Upsample, {"k": -1})])
+def test_rate_changers_reject_bad_factor(cls, kwargs):
+    net = Network()
+    a, b = net.channels_n(2)
+    with pytest.raises(ValueError):
+        cls(a.get_input_stream(), b.get_output_stream(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# zip / unzip / window / accumulate
+# ---------------------------------------------------------------------------
+
+def test_zip_pairs_two_streams():
+    net = Network()
+    a, b, c = net.channels_n(3)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), [1.0, 2.0], codec="double"))
+    net.add(FromIterable(b.get_output_stream(), [10.0, 20.0, 30.0],
+                         codec="double"))
+    net.add(Zip(a.get_input_stream(), b.get_input_stream(),
+                c.get_output_stream()))
+    net.add(Collect(c.get_input_stream(), out, codec="object"))
+    predicted = compile_network(net).predict("ch-2")
+    net.run(timeout=30)
+    assert out == [(1.0, 10.0), (2.0, 20.0)]
+    assert list(predicted) == out
+
+
+def test_unzip_round_robin():
+    net = Network()
+    a, left, right = net.channels_n(3)
+    got_l, got_r = [], []
+    net.add(FromIterable(a.get_output_stream(),
+                         [0.0, 1.0, 2.0, 3.0, 4.0, 5.0], codec="double"))
+    net.add(Unzip(a.get_input_stream(), left.get_output_stream(),
+                  right.get_output_stream()))
+    net.add(Collect(left.get_input_stream(), got_l, codec="double"))
+    net.add(Collect(right.get_input_stream(), got_r, codec="double"))
+    compiled = compile_network(net)
+    net.run(timeout=30)
+    assert got_l == [0.0, 2.0, 4.0]
+    assert got_r == [1.0, 3.0, 5.0]
+    assert list(compiled.predict("ch-1")) == got_l
+    assert list(compiled.predict("ch-2")) == got_r
+
+
+def test_zip_unzip_roundtrip():
+    data = [float(x) for x in range(8)]
+    net = Network()
+    a, l, r, z = net.channels_n(4)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), data, codec="double"))
+    net.add(Unzip(a.get_input_stream(), l.get_output_stream(),
+                  r.get_output_stream()))
+    net.add(Zip(l.get_input_stream(), r.get_input_stream(),
+                z.get_output_stream()))
+    net.add(Collect(z.get_input_stream(), out, codec="object"))
+    net.run(timeout=30)
+    flattened = [x for pair in out for x in pair]
+    assert flattened == data
+
+
+def test_window_sliding():
+    out = run_block(lambda i, o: Window(i, o, 3, hop=1),
+                    [1.0, 2.0, 3.0, 4.0], out_codec="object")
+    assert out == [(1.0, 2.0, 3.0), (2.0, 3.0, 4.0)]
+
+
+def test_window_hopping():
+    out = run_block(lambda i, o: Window(i, o, 2, hop=2),
+                    [1.0, 2.0, 3.0, 4.0, 5.0], out_codec="object")
+    assert out == [(1.0, 2.0), (3.0, 4.0)]
+
+
+def test_accumulate_prefix_sums():
+    assert run_block(lambda i, o: Accumulate(i, o), [1.0, 2.0, 3.0]) == \
+        [1.0, 3.0, 6.0]
+
+
+def test_accumulate_custom_fn():
+    out = run_block(lambda i, o: Accumulate(i, o, fn=max, initial=float("-inf")),
+                    [1.0, 5.0, 3.0, 7.0, 2.0])
+    assert out == [1.0, 5.0, 5.0, 7.0, 7.0]
+
+
+# ---------------------------------------------------------------------------
+# a realistic chain: denoise + decimate
+# ---------------------------------------------------------------------------
+
+def test_denoise_decimate_chain():
+    import math
+
+    data = [math.sin(2 * math.pi * k / 32) + (0.2 if k % 2 else -0.2)
+            for k in range(64)]
+    net = Network()
+    raw, smooth, slow = net.channels_n(3)
+    out = []
+    net.add(FromIterable(raw.get_output_stream(), data, codec="double"))
+    net.add(MovingAverage(raw.get_input_stream(), smooth.get_output_stream(), 2))
+    net.add(Downsample(smooth.get_input_stream(), slow.get_output_stream(), 4))
+    net.add(Collect(slow.get_input_stream(), out, codec="double"))
+    predicted = compile_network(net).predict("ch-2")
+    net.run(timeout=30)
+    assert list(predicted) == out
+    # the ±0.2 alternating noise cancels exactly under a length-2 average
+    clean = [math.sin(2 * math.pi * (k + 0.5) / 32) *
+             math.cos(math.pi / 32) for k in range(63)][::4]
+    assert out == pytest.approx(
+        [(data[k] + data[k + 1]) / 2 for k in range(63)][::4])
+    assert all(abs(v) <= 1.0 + 1e-9 for v in out)

@@ -1,0 +1,98 @@
+"""Duplicate's two fan-out termination disciplines.
+
+A regression suite for a genuine subtlety the random-network fuzzer
+uncovered: the paper's Figure-5 Duplicate dies on the first broken
+output, which truncates still-live sibling branches at a point that
+depends on channel capacity.  The default stays paper-faithful (the
+"first k primes" cascade requires it); ``resilient=True`` provides the
+Kahn-faithful alternative.
+"""
+
+import random
+
+import pytest
+
+from repro.kpn import Network
+from repro.processes import Add, Collect, Duplicate, FromIterable, Sequence
+from repro.semantics.randomnets import (build_operational, random_spec,
+                                        reference_evaluate)
+
+
+def fanout_with_short_branch(resilient: bool, capacity: int):
+    """dup feeds (a) an Add zipped against a 2-element stream (dies
+    early) and (b) an unbounded Collect."""
+    net = Network()
+    src, left, right, short, summed = net.channels_n(5, capacity=capacity)
+    survivors = []
+    net.add(FromIterable(src.get_output_stream(), list(range(10))))
+    net.add(Duplicate(src.get_input_stream(),
+                      [left.get_output_stream(), right.get_output_stream()],
+                      resilient=resilient, name="dup"))
+    net.add(FromIterable(short.get_output_stream(), [100, 200]))
+    net.add(Add(left.get_input_stream(), short.get_input_stream(),
+                summed.get_output_stream()))
+    net.add(Collect(summed.get_input_stream(), []))
+    net.add(Collect(right.get_input_stream(), survivors))
+    net.run(timeout=60)
+    return survivors
+
+
+def test_resilient_branch_survives_sibling_death_any_capacity():
+    for capacity in (16, 64, 1024, 1 << 16):
+        assert fanout_with_short_branch(True, capacity) == list(range(10)), \
+            f"capacity={capacity}"
+
+
+def test_faithful_mode_truncates_capacity_dependently():
+    """The default (paper) mode cuts the sibling once the dead branch's
+    buffer fills — visibly fewer elements at tiny capacity."""
+    truncated = fanout_with_short_branch(False, 16)
+    assert len(truncated) < 10
+    roomy = fanout_with_short_branch(False, 1 << 16)
+    assert roomy == list(range(10))  # big buffers hide the cut
+
+
+def test_faithful_mode_still_terminates_sink_limited_cycles():
+    """The Fibonacci 'first k' mode depends on the faithful cascade: an
+    infinite feedback cycle must die when the printing branch stops."""
+    from repro.processes import fibonacci
+    from repro.semantics import fibonacci_reference
+
+    assert fibonacci(12).run(timeout=60) == fibonacci_reference(12)
+
+
+def test_resilient_mode_drains_to_eof_then_stops():
+    net = Network()
+    src, a, b = net.channels_n(3)
+    out_a, out_b = [], []
+    net.add(Sequence(src.get_output_stream(), iterations=20))
+    net.add(Duplicate(src.get_input_stream(),
+                      [a.get_output_stream(), b.get_output_stream()],
+                      resilient=True))
+    net.add(Collect(a.get_input_stream(), out_a))
+    net.add(Collect(b.get_input_stream(), out_b))
+    net.run(timeout=60)
+    assert out_a == out_b == list(range(20))
+
+
+def test_resilient_all_outputs_broken_terminates():
+    net = Network()
+    src, a, b = net.channels_n(3, capacity=64)
+    net.add(Sequence(src.get_output_stream(), iterations=0))  # unbounded
+    net.add(Duplicate(src.get_input_stream(),
+                      [a.get_output_stream(), b.get_output_stream()],
+                      resilient=True))
+    net.add(Collect(a.get_input_stream(), [], iterations=3))
+    net.add(Collect(b.get_input_stream(), [], iterations=5))
+    assert net.run(timeout=60)  # both sinks limited: dup must still end
+
+
+def test_fuzzer_regression_seed_15313():
+    """The exact generated network that exposed the truncation."""
+    spec = random_spec(random.Random(15313), max_nodes=9)
+    reference = reference_evaluate(spec)
+    for capacity in (16, 1 << 16):
+        net, sinks = build_operational(spec, capacity=capacity)
+        net.run(timeout=60)
+        for idx, collected in sinks.items():
+            assert collected == reference[idx], (capacity, idx)

@@ -1,0 +1,114 @@
+"""Integration tests: the paper's figure programs end to end."""
+
+import math
+
+import pytest
+
+from repro.kpn import Network
+from repro.processes import fibonacci, hamming, modulo_merge, newton_sqrt, primes
+from repro.semantics import (fibonacci_reference, hamming_reference,
+                             primes_reference)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2/6: Fibonacci
+# ---------------------------------------------------------------------------
+
+def test_fibonacci_first_20():
+    assert fibonacci(20).run(timeout=60) == fibonacci_reference(20)
+
+
+def test_fibonacci_one_value():
+    assert fibonacci(1).run(timeout=60) == [1]
+
+
+def test_fibonacci_longer_run_no_overflow_issue():
+    out = fibonacci(60).run(timeout=60)
+    assert out == fibonacci_reference(60)
+    assert out[-1] == 1548008755920
+
+
+def test_fibonacci_reuses_supplied_network():
+    net = Network(name="mine")
+    built = fibonacci(5, network=net)
+    assert built.network is net
+    assert built.run(timeout=60) == [1, 1, 2, 3, 5]
+
+
+# ---------------------------------------------------------------------------
+# Figures 7/8: sieve
+# ---------------------------------------------------------------------------
+
+def test_primes_first_30_iterative():
+    assert primes(count=30).run(timeout=120) == primes_reference(count=30)
+
+
+def test_primes_below_200():
+    assert primes(below=200).run(timeout=120) == primes_reference(below=200)
+
+
+def test_primes_recursive_matches_iterative():
+    a = primes(count=20).run(timeout=120)
+    b = primes(count=20, recursive=True).run(timeout=120)
+    assert a == b == primes_reference(count=20)
+
+
+def test_primes_sift_inserted_one_filter_per_prime():
+    net = Network()
+    built = primes(count=10, network=net)
+    built.run(timeout=120)
+    sift = next(p for p in net.processes if p.name == "Sift")
+    assert sift.inserted == primes_reference(count=10)
+
+
+def test_primes_requires_exactly_one_mode():
+    with pytest.raises(ValueError):
+        primes()
+    with pytest.raises(ValueError):
+        primes(count=5, below=10)
+
+
+def test_primes_below_2_is_empty():
+    assert primes(below=2).run(timeout=60) == []
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: Newton square root
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("x", [2.0, 9.0, 1e6, 0.04, 123.456])
+def test_newton_sqrt_converges(x):
+    result = newton_sqrt(x).run(timeout=60)
+    assert len(result) == 1
+    assert result[0] == pytest.approx(math.sqrt(x), rel=1e-12)
+
+
+def test_newton_sqrt_emits_exactly_one_value():
+    assert len(newton_sqrt(5.0).run(timeout=60)) == 1
+
+
+def test_newton_custom_initial_guess():
+    result = newton_sqrt(16.0, initial=1.0).run(timeout=60)
+    assert result[0] == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: Hamming numbers
+# ---------------------------------------------------------------------------
+
+def test_hamming_first_20():
+    assert hamming(20).run(timeout=120) == hamming_reference(20)
+
+
+def test_hamming_deeper():
+    assert hamming(60).run(timeout=180) == hamming_reference(60)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("divisor", [2, 7, 10])
+def test_modulo_merge_reconstructs_integers(divisor):
+    out = modulo_merge(100, divisor=divisor).run(timeout=60)
+    assert out == list(range(1, 101))

@@ -1,0 +1,109 @@
+"""OrderedMerge and the merge tree (the Hamming network's Merge, Fig. 12)."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kpn import Network
+from repro.processes import Collect, FromIterable, OrderedMerge
+from repro.processes.merges import ordered_merge_tree
+
+
+def run_merge(left, right, dedup=True):
+    net = Network()
+    a, b, c = net.channels_n(3)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), left))
+    net.add(FromIterable(b.get_output_stream(), right))
+    net.add(OrderedMerge(a.get_input_stream(), b.get_input_stream(),
+                         c.get_output_stream(), dedup=dedup))
+    net.add(Collect(c.get_input_stream(), out))
+    net.run(timeout=30)
+    return out
+
+
+def test_merge_basic():
+    assert run_merge([1, 3, 5], [2, 4, 6]) == [1, 2, 3, 4, 5, 6]
+
+
+def test_merge_dedup_eliminates_equal_heads():
+    assert run_merge([1, 2, 3], [2, 3, 4]) == [1, 2, 3, 4]
+
+
+def test_merge_without_dedup_keeps_duplicates():
+    assert run_merge([1, 2], [2, 3], dedup=False) == [1, 2, 2, 3]
+
+
+def test_merge_one_empty_input():
+    assert run_merge([], [1, 2]) == [1, 2]
+    assert run_merge([1, 2], []) == [1, 2]
+
+
+def test_merge_unequal_lengths_drain_survivor():
+    assert run_merge([1], [2, 3, 4, 5]) == [1, 2, 3, 4, 5]
+
+
+def test_merge_both_empty():
+    assert run_merge([], []) == []
+
+
+sorted_lists = st.lists(st.integers(min_value=0, max_value=100),
+                        max_size=30).map(sorted)
+
+
+@given(sorted_lists, sorted_lists)
+@settings(max_examples=30, deadline=None)
+def test_merge_property_matches_sorted_union(left, right):
+    got = run_merge(left, right)
+    expect = sorted(set(left) | set(right))
+    # dedup merge removes cross-stream duplicates AND treats equal
+    # *adjacent* values within a stream pairwise; replicate exactly:
+    assert got == _reference_dedup_merge(left, right)
+    # and on duplicate-free inputs it is exactly the sorted union
+    if len(set(left)) == len(left) and len(set(right)) == len(right):
+        assert got == sorted(set(left) | set(right))
+
+
+def _reference_dedup_merge(left, right):
+    out, i, j = [], 0, 0
+    while i < len(left) and j < len(right):
+        if left[i] < right[j]:
+            out.append(left[i]); i += 1
+        elif right[j] < left[i]:
+            out.append(right[j]); j += 1
+        else:
+            out.append(left[i]); i += 1; j += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
+@pytest.mark.parametrize("n_inputs", [2, 3, 4, 5])
+def test_merge_tree_n_way(n_inputs):
+    net = Network()
+    ins = []
+    lists = [sorted(range(i, 60, n_inputs)) for i in range(n_inputs)]
+    for i, data in enumerate(lists):
+        ch = net.channel(name=f"in{i}")
+        net.add(FromIterable(ch.get_output_stream(), data))
+        ins.append(ch.get_input_stream())
+    out_ch = net.channel(name="merged")
+    out = []
+    ordered_merge_tree(net, ins, out_ch.get_output_stream())
+    net.add(Collect(out_ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == sorted(set().union(*map(set, lists)))
+
+
+def test_merge_tree_single_input_rejected_gracefully():
+    """One input needs no merge; tree builder must not be called that way,
+    but two inputs is the base case."""
+    net = Network()
+    a, b = net.channels_n(2)
+    out_ch = net.channel()
+    net.add(FromIterable(a.get_output_stream(), [1]))
+    net.add(FromIterable(b.get_output_stream(), [2]))
+    procs = ordered_merge_tree(net, [a.get_input_stream(), b.get_input_stream()],
+                               out_ch.get_output_stream())
+    assert len(procs) == 1

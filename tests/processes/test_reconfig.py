@@ -1,0 +1,86 @@
+"""Self-reconfiguration mechanics (Figures 7–10): data neither lost nor
+repeated across insertions, removals, and splices."""
+
+import pytest
+
+from repro.kpn import Network
+from repro.processes import (Collect, FromIterable, RecursiveSift,
+                             SelfRemovingCons, Sequence, Sift)
+
+
+def test_sift_preserves_stream_position_across_insert():
+    """Data buffered in the old channel must flow through the newly
+    inserted Modulo — neither lost nor repeated."""
+    net = Network()
+    feed = net.channel(capacity=1 << 16)  # plenty of buffered data
+    found = net.channel()
+    out = []
+    # pre-fill: the source finishes long before the sift starts reading
+    net.add(FromIterable(feed.get_output_stream(), list(range(2, 60))))
+    net.add(Sift(feed.get_input_stream(), found.get_output_stream()))
+    net.add(Collect(found.get_input_stream(), out))
+    net.run(timeout=120)
+    assert out == [p for p in range(2, 60)
+                   if all(p % q for q in range(2, p))]
+
+
+def test_sift_dynamic_channels_join_network_accounting():
+    net = Network()
+    feed, found = net.channels_n(2)
+    out = []
+    net.add(Sequence(feed.get_output_stream(), start=2, iterations=30))
+    net.add(Sift(feed.get_input_stream(), found.get_output_stream()))
+    net.add(Collect(found.get_input_stream(), out))
+    before = len(net.channels)
+    net.run(timeout=120)
+    inserted = len(net.channels) - before
+    assert inserted == len(out)  # one new channel per inserted Modulo
+    assert all(ch.buffer.accounting is net.accounting for ch in net.channels)
+
+
+def test_recursive_sift_replaces_itself_per_prime():
+    net = Network()
+    feed, found = net.channels_n(2)
+    out = []
+    net.add(Sequence(feed.get_output_stream(), start=2, iterations=28))
+    net.add(RecursiveSift(feed.get_input_stream(), found.get_output_stream()))
+    net.add(Collect(found.get_input_stream(), out))
+    net.run(timeout=120)
+    assert out == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+    # one replacement Sift per prime joined the network
+    sift_count = sum(1 for p in net.processes
+                     if type(p).__name__ == "RecursiveSift")
+    assert sift_count == len(out) + 1
+
+
+def test_self_removing_cons_with_tiny_channels():
+    """Splice under backpressure: buffered bytes in the cons's output
+    channel must be consumed before the spliced stream activates."""
+    net = Network()
+    head, tail, down = (net.channel(capacity=8, name=n)
+                        for n in ("head", "tail", "down"))
+    out = []
+    net.add(FromIterable(head.get_output_stream(), [0]))
+    net.add(Sequence(tail.get_output_stream(), start=1, iterations=200))
+    net.add(SelfRemovingCons(head.get_input_stream(), tail.get_input_stream(),
+                             down.get_output_stream()))
+    net.add(Collect(down.get_input_stream(), out))
+    net.run(timeout=60)
+    assert out == list(range(201))
+
+
+def test_chain_of_self_removing_cons():
+    """Multiple removals splice transitively (cons(a, cons(b, s)))."""
+    net = Network()
+    h1, h2, mid, tail, down = net.channels_n(5)
+    out = []
+    net.add(FromIterable(h1.get_output_stream(), [101]))
+    net.add(FromIterable(h2.get_output_stream(), [102]))
+    net.add(Sequence(tail.get_output_stream(), start=0, iterations=50))
+    net.add(SelfRemovingCons(h2.get_input_stream(), tail.get_input_stream(),
+                             mid.get_output_stream(), name="inner"))
+    net.add(SelfRemovingCons(h1.get_input_stream(), mid.get_input_stream(),
+                             down.get_output_stream(), name="outer"))
+    net.add(Collect(down.get_input_stream(), out))
+    net.run(timeout=60)
+    assert out == [101, 102] + list(range(50))

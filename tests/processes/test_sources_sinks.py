@@ -1,0 +1,110 @@
+"""Sources and sinks: Constant, Sequence, FromIterable, Print, Collect, Discard."""
+
+import io
+
+from repro.kpn import Network
+from repro.processes import (Collect, Constant, Discard, FromIterable, Print,
+                             Sequence)
+from repro.processes.codecs import DOUBLE, OBJECT
+
+
+def run_source(process_factory, codec="long", iterations=0):
+    net = Network()
+    ch = net.channel()
+    out = []
+    net.add(process_factory(ch.get_output_stream()))
+    net.add(Collect(ch.get_input_stream(), out, codec=codec,
+                    iterations=iterations))
+    net.run(timeout=30)
+    return out
+
+
+def test_constant_finite():
+    out = run_source(lambda s: Constant(7, s, iterations=5))
+    assert out == [7] * 5
+
+
+def test_constant_double_codec():
+    out = run_source(lambda s: Constant(2.5, s, iterations=3, codec=DOUBLE),
+                     codec=DOUBLE)
+    assert out == [2.5] * 3
+
+
+def test_constant_infinite_bounded_by_sink():
+    out = run_source(lambda s: Constant(1, s), iterations=10)
+    assert out == [1] * 10
+
+
+def test_sequence_start_stride():
+    out = run_source(lambda s: Sequence(s, start=10, stride=3, iterations=5))
+    assert out == [10, 13, 16, 19, 22]
+
+
+def test_sequence_negative_stride():
+    out = run_source(lambda s: Sequence(s, start=0, stride=-1, iterations=4))
+    assert out == [0, -1, -2, -3]
+
+
+def test_from_iterable_list():
+    out = run_source(lambda s: FromIterable(s, [5, 6, 7]))
+    assert out == [5, 6, 7]
+
+
+def test_from_iterable_generator_and_objects():
+    items = [{"k": i} for i in range(4)]
+    out = run_source(lambda s: FromIterable(s, iter(items), codec=OBJECT),
+                     codec=OBJECT)
+    assert out == items
+
+
+def test_from_iterable_closes_output_at_end():
+    net = Network()
+    ch = net.channel()
+    net.add(FromIterable(ch.get_output_stream(), [1]))
+    out = []
+    net.add(Collect(ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert ch.buffer.write_closed
+    assert out == [1]
+
+
+def test_from_iterable_stops_on_broken_channel():
+    net = Network()
+    ch = net.channel(capacity=16)
+    src = FromIterable(ch.get_output_stream(), range(10 ** 6))
+    net.add(src)
+    net.add(Collect(ch.get_input_stream(), [], iterations=3))
+    net.run(timeout=30)
+    assert src.failure is None
+
+
+def test_print_writes_to_file(capsys):
+    net = Network()
+    ch = net.channel()
+    net.add(FromIterable(ch.get_output_stream(), [1, 2]))
+    net.add(Print(ch.get_input_stream(), prefix="n="))
+    net.run(timeout=30)
+    assert capsys.readouterr().out == "n=1\nn=2\n"
+
+
+def test_print_getstate_drops_file_handle():
+    buf = io.StringIO()
+    net = Network()
+    ch = net.channel()
+    p = Print(ch.get_input_stream(), file=buf)
+    assert p.__getstate__()["file"] is None
+
+
+def test_collect_iteration_limit():
+    out = run_source(lambda s: Sequence(s, iterations=0), iterations=4)
+    assert out == [0, 1, 2, 3]
+
+
+def test_discard_consumes_everything():
+    net = Network()
+    ch = net.channel()
+    net.add(Sequence(ch.get_output_stream(), iterations=100))
+    d = Discard(ch.get_input_stream())
+    net.add(d)
+    net.run(timeout=30)
+    assert d.steps_completed == 100

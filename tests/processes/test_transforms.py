@@ -1,0 +1,157 @@
+"""Byte-level and element transforms: Cons, SelfRemovingCons, Duplicate,
+Identity, Scale, MapProcess."""
+
+import pytest
+
+from repro.kpn import Network
+from repro.processes import (Collect, Cons, Constant, Duplicate, FromIterable,
+                             Identity, MapProcess, Scale, SelfRemovingCons,
+                             Sequence)
+from repro.processes.codecs import DOUBLE, OBJECT
+
+
+def test_cons_concatenates_head_then_tail():
+    net = Network()
+    head, tail, out_ch = net.channels_n(3)
+    out = []
+    net.add(FromIterable(head.get_output_stream(), [100, 200]))
+    net.add(FromIterable(tail.get_output_stream(), [1, 2, 3]))
+    net.add(Cons(head.get_input_stream(), tail.get_input_stream(),
+                 out_ch.get_output_stream()))
+    net.add(Collect(out_ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [100, 200, 1, 2, 3]
+
+
+def test_cons_with_single_constant_head_is_prepend():
+    net = Network()
+    head, tail, out_ch = net.channels_n(3)
+    out = []
+    net.add(Constant(0, head.get_output_stream(), iterations=1))
+    net.add(Sequence(tail.get_output_stream(), start=1, iterations=4))
+    net.add(Cons(head.get_input_stream(), tail.get_input_stream(),
+                 out_ch.get_output_stream()))
+    net.add(Collect(out_ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_cons_empty_head_passthrough():
+    net = Network()
+    head, tail, out_ch = net.channels_n(3)
+    out = []
+    net.add(FromIterable(head.get_output_stream(), []))
+    net.add(FromIterable(tail.get_output_stream(), [9, 8]))
+    net.add(Cons(head.get_input_stream(), tail.get_input_stream(),
+                 out_ch.get_output_stream()))
+    net.add(Collect(out_ch.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [9, 8]
+
+
+def test_self_removing_cons_splices_and_detaches():
+    net = Network()
+    head, tail, out_ch = net.channels_n(3)
+    out = []
+    net.add(Constant(0, head.get_output_stream(), iterations=1))
+    net.add(Sequence(tail.get_output_stream(), start=1, iterations=500))
+    cons = SelfRemovingCons(head.get_input_stream(), tail.get_input_stream(),
+                            out_ch.get_output_stream())
+    net.add(cons)
+    net.add(Collect(out_ch.get_input_stream(), out))
+    net.run(timeout=60)
+    assert out == list(range(501))
+    assert cons.removed
+    assert cons.tail.detached  # tail channel survived cons's onStop
+
+
+def test_self_removing_cons_equivalent_to_plain_cons():
+    def run(cls):
+        net = Network()
+        head, tail, out_ch = net.channels_n(3)
+        out = []
+        net.add(FromIterable(head.get_output_stream(), [7, 7]))
+        net.add(Sequence(tail.get_output_stream(), start=0, iterations=50))
+        net.add(cls(head.get_input_stream(), tail.get_input_stream(),
+                    out_ch.get_output_stream()))
+        net.add(Collect(out_ch.get_input_stream(), out))
+        net.run(timeout=30)
+        return out
+
+    assert run(Cons) == run(SelfRemovingCons)
+
+
+def test_duplicate_copies_to_all_outputs():
+    net = Network()
+    src = net.channel()
+    branches = net.channels_n(3, prefix="br")
+    outs = [[], [], []]
+    net.add(Sequence(src.get_output_stream(), start=0, iterations=30))
+    net.add(Duplicate(src.get_input_stream(),
+                      [b.get_output_stream() for b in branches]))
+    for b, o in zip(branches, outs):
+        net.add(Collect(b.get_input_stream(), o))
+    net.run(timeout=30)
+    assert outs[0] == outs[1] == outs[2] == list(range(30))
+
+
+def test_duplicate_single_output_is_identity():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), [4, 5, 6]))
+    net.add(Duplicate(a.get_input_stream(), [b.get_output_stream()]))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == [4, 5, 6]
+
+
+def test_identity_process():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(Sequence(a.get_output_stream(), iterations=10))
+    net.add(Identity(a.get_input_stream(), b.get_output_stream()))
+    net.add(Collect(b.get_input_stream(), out))
+    net.run(timeout=30)
+    assert out == list(range(10))
+
+
+def test_scale_longs_and_doubles():
+    for codec, factor, items, expect in [
+        ("long", 3, [1, 2], [3, 6]),
+        (DOUBLE, 0.5, [1.0, 3.0], [0.5, 1.5]),
+    ]:
+        net = Network()
+        a, b = net.channels_n(2)
+        out = []
+        net.add(FromIterable(a.get_output_stream(), items, codec=codec))
+        net.add(Scale(a.get_input_stream(), b.get_output_stream(), factor,
+                      codec=codec))
+        net.add(Collect(b.get_input_stream(), out, codec=codec))
+        net.run(timeout=30)
+        assert out == expect
+
+
+def test_map_process_with_distinct_out_codec():
+    net = Network()
+    a, b = net.channels_n(2)
+    out = []
+    net.add(FromIterable(a.get_output_stream(), [1, 4, 9]))
+    net.add(MapProcess(a.get_input_stream(), b.get_output_stream(),
+                       lambda x: {"sqrt": x ** 0.5}, codec="long",
+                       out_codec=OBJECT))
+    net.add(Collect(b.get_input_stream(), out, codec=OBJECT))
+    net.run(timeout=30)
+    assert out == [{"sqrt": 1.0}, {"sqrt": 2.0}, {"sqrt": 3.0}]
+
+
+def test_map_process_failure_is_reported():
+    net = Network()
+    a, b = net.channels_n(2)
+    net.add(FromIterable(a.get_output_stream(), [1]))
+    net.add(MapProcess(a.get_input_stream(), b.get_output_stream(),
+                       lambda x: 1 // 0))
+    net.add(Collect(b.get_input_stream(), []))
+    with pytest.raises(ZeroDivisionError):
+        net.run(timeout=30)

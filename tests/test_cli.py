@@ -1,0 +1,74 @@
+"""CLI entry points (python -m repro.cli)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def test_version(capsys):
+    assert run_cli("version") == 0
+    import repro
+
+    assert capsys.readouterr().out.strip() == repro.__version__
+
+
+@pytest.mark.parametrize("which", ["table1", "table2", "fig19", "fig20"])
+def test_experiments_print_tables(which, capsys):
+    assert run_cli("experiment", which) == 0
+    out = capsys.readouterr().out
+    assert "paper" in out or "ideal" in out
+    assert len(out.splitlines()) >= 6
+
+
+def test_check_clean_graph(capsys):
+    assert run_cli("check", "fibonacci") == 0
+    assert "cycle" in capsys.readouterr().out
+
+
+def test_check_fig13(capsys):
+    assert run_cli("check", "fig13") == 0
+
+
+def test_example_list(capsys):
+    assert run_cli("example", "list") == 0
+    assert "fibonacci" in capsys.readouterr().out
+
+
+def test_example_runs(capsys):
+    assert run_cli("example", "newton_sqrt") == 0
+    assert "newton sqrt OK" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "table99"])
+
+
+def test_ping_roundtrip():
+    from repro.distributed.server import ComputeServer
+
+    server = ComputeServer(name="cli-ping").start()
+    try:
+        assert run_cli("ping", f"127.0.0.1:{server.port}") == 0
+    finally:
+        server.stop()
+
+
+@pytest.mark.slow
+def test_module_invocation_subprocess():
+    result = subprocess.run([sys.executable, "-m", "repro.cli", "version"],
+                            capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0
+    assert result.stdout.strip()

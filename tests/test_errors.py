@@ -1,0 +1,52 @@
+"""The exception taxonomy: hierarchy and payloads."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (ArtificialDeadlockError, BrokenChannelError,
+                          ChannelClosedError, ChannelError, DeadlockError,
+                          EndOfStreamError, MigrationError, RegistryError,
+                          RemoteError, TrueDeadlockError)
+
+
+def test_channel_errors_are_ioerrors():
+    """Generic code catching OSError/IOError must see channel failures
+    (the paper's IOException analogy demands it)."""
+    for exc_type in (ChannelError, EndOfStreamError, BrokenChannelError,
+                     ChannelClosedError):
+        assert issubclass(exc_type, IOError)
+
+
+def test_channel_error_is_common_base():
+    for exc_type in (EndOfStreamError, BrokenChannelError, ChannelClosedError):
+        assert issubclass(exc_type, ChannelError)
+
+
+def test_deadlock_hierarchy():
+    assert issubclass(ArtificialDeadlockError, DeadlockError)
+    assert issubclass(TrueDeadlockError, DeadlockError)
+    assert not issubclass(DeadlockError, ChannelError)
+
+
+def test_deadlock_error_carries_blocked_names():
+    err = TrueDeadlockError("stuck", ("a", "b"))
+    assert err.blocked == ("a", "b")
+
+
+def test_remote_error_str_includes_traceback():
+    err = RemoteError("ZeroDivisionError: boom", "Traceback ...\n  line 1")
+    text = str(err)
+    assert "boom" in text and "remote traceback" in text
+
+
+def test_remote_error_without_traceback():
+    assert str(RemoteError("plain")) == "plain"
+
+
+def test_errors_pickle_roundtrip():
+    for err in (EndOfStreamError("eof"), BrokenChannelError("pipe"),
+                MigrationError("move"), RegistryError("name")):
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is type(err)
+        assert str(clone) == str(err)

@@ -1,0 +1,35 @@
+"""Every bundled example must run clean (examples are executable docs).
+
+Each example self-asserts its results and prints a final "... OK" line;
+this runner executes them as real subprocesses (their own interpreters,
+like a user would) and checks both.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+ALL_EXAMPLES = sorted(
+    name[:-3] for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_example_inventory_matches_cli():
+    from repro.cli import EXAMPLES
+
+    assert sorted(EXAMPLES) == ALL_EXAMPLES
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, f"{name}.py")],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, \
+        f"{name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    assert "OK" in result.stdout.splitlines()[-1]
