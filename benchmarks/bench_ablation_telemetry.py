@@ -1,0 +1,87 @@
+"""Ablation: what the telemetry layer costs (observability design choice).
+
+Every hot-path instrumentation site guards on one attribute read, so the
+claim to verify is two-sided:
+
+* **disabled** (the default) must be effectively free — the same farm
+  workload the Table 2 real-execution benchmark uses should run within
+  noise of its pre-instrumentation cost;
+* **enabled** pays for Event allocations and locked counter updates —
+  measurable, bounded, and worth knowing before tracing a production run.
+
+The workload is a real KPN MetaDynamic farm (producer -> 4 workers ->
+consumer over bounded byte channels), the same shape as the paper's
+evaluation runs, sized to take tens of milliseconds so thread startup
+doesn't dominate.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.parallel import CallableTask, RangeProducerTask, run_farm
+from repro.telemetry.core import TELEMETRY
+
+from conftest import emit, fmt_row
+
+N_TASKS = 120
+N_WORKERS = 4
+REPEATS = 7
+
+
+def run_workload():
+    out = run_farm(
+        RangeProducerTask(N_TASKS, lambda i: CallableTask(pow, i, 3)),
+        n_workers=N_WORKERS, mode="dynamic", timeout=120)
+    assert out == [i ** 3 for i in range(N_TASKS)]
+
+
+def timed(repeats: int = REPEATS):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_workload()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+@pytest.mark.benchmark(group="telemetry-ablation")
+def test_telemetry_overhead_disabled_vs_enabled(benchmark):
+    def measure():
+        assert not TELEMETRY.enabled
+        run_workload()  # warm-up: imports, codegen, thread machinery
+        disabled = timed()
+        TELEMETRY.reset().enable()
+        try:
+            enabled = timed()
+            events = TELEMETRY.events_emitted
+            n_counters = len(TELEMETRY.counters())
+        finally:
+            TELEMETRY.disable().reset()
+        return disabled, enabled, events, n_counters
+
+    disabled, enabled, events, n_counters = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    med_off = statistics.median(disabled)
+    med_on = statistics.median(enabled)
+    overhead = (med_on / med_off - 1.0) * 100.0
+    lines = [
+        f"Ablation: telemetry cost on a MetaDynamic farm "
+        f"({N_TASKS} tasks, {N_WORKERS} workers, median of {REPEATS})",
+        fmt_row(("mode", "median-s", "min-s", "max-s"), (10, 9, 9, 9)),
+        fmt_row(("disabled", med_off, min(disabled), max(disabled)),
+                (10, 9, 9, 9)),
+        fmt_row(("enabled", med_on, min(enabled), max(enabled)),
+                (10, 9, 9, 9)),
+        f"enabled overhead vs disabled: {overhead:+.1f}%",
+        f"events emitted per run: ~{events // REPEATS}  "
+        f"(counter series: {n_counters})",
+    ]
+    emit("ablation_telemetry", lines)
+    # One run did emit real data while enabled.
+    assert events > 0 and n_counters > 0
+    # Loose sanity bound, not a perf gate: a thread-heavy workload on a
+    # loaded CI box is noisy, and with zero-cost tasks every channel op
+    # emits events, so the ratio here is a worst case.
+    assert med_on < med_off * 5.0

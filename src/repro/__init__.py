@@ -18,7 +18,10 @@ A from-scratch reproduction of *Distributed Process Networks in Java*
   balancing, and the weak-RSA factorization workload;
 * :mod:`repro.simcluster` — a discrete-event simulation of the paper's
   heterogeneous 34-CPU lab used to regenerate Tables 1–2 and Figures
-  19–20.
+  19–20;
+* :mod:`repro.telemetry` — the unified observability layer: an
+  off-by-default event bus + counter registry instrumented into all of
+  the above, with Chrome-trace (Perfetto) and Prometheus exporters.
 
 Quickstart::
 
@@ -42,6 +45,7 @@ from repro.errors import (ArtificialDeadlockError, BrokenChannelError,
                           RemoteError, TrueDeadlockError)
 from repro.kpn import (Channel, CompositeProcess, IterativeProcess, Network,
                        Process, StopProcess)
+from repro.telemetry.core import TELEMETRY
 
 __version__ = "1.0.0"
 
@@ -50,6 +54,6 @@ __all__ = [
     "ChannelError", "DeadlockError", "EndOfStreamError", "MigrationError",
     "RegistryError", "RemoteError", "TrueDeadlockError",
     "Channel", "CompositeProcess", "IterativeProcess", "Network", "Process",
-    "StopProcess",
+    "StopProcess", "TELEMETRY",
     "__version__",
 ]

@@ -10,11 +10,16 @@ command         what it does
 server          start a compute server (wraps repro.distributed.server)
 registry        start a name registry (wraps repro.distributed.registry)
 ping            ping a server (host:port or registry name)
+metrics         scrape a server's telemetry counters (Prometheus text)
 experiment      regenerate table1 / table2 / fig19 / fig20 on the simulator
 example         run one of the bundled examples by name
 check           build a figure network and run the consistency checker
 version         print the library version
 ==============  ==============================================================
+
+``experiment`` and ``example`` accept ``--trace-out FILE``: the run
+executes with telemetry enabled and its event stream is written as a
+Chrome trace-event JSON file (load it in Perfetto / chrome://tracing).
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_server.add_argument("--name", default="server")
     p_server.add_argument("--registry", default=None, help="host:port")
     p_server.add_argument("--advertise", default=None)
+    p_server.add_argument("--telemetry", action="store_true",
+                          help="enable the telemetry hub on this server")
 
     p_registry = sub.add_parser("registry", help="start a name registry")
     p_registry.add_argument("--port", type=int, default=5000)
@@ -53,12 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_ping = sub.add_parser("ping", help="ping a compute server")
     p_ping.add_argument("target", help="host:port")
 
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape telemetry counters from a compute server")
+    p_metrics.add_argument("target", help="host:port")
+    p_metrics.add_argument("--raw", action="store_true",
+                           help="print the raw counter dict instead of "
+                                "Prometheus text")
+
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
     p_exp.add_argument("which", choices=EXPERIMENTS)
+    p_exp.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="run with telemetry on; write a Chrome "
+                            "trace-event JSON file")
 
     p_ex = sub.add_parser("example", help="run a bundled example")
     p_ex.add_argument("which", choices=EXAMPLES + ("list",))
+    p_ex.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="run with telemetry on; write a Chrome "
+                           "trace-event JSON file")
 
     p_check = sub.add_parser("check",
                              help="consistency-check a figure network")
@@ -72,6 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
 # command implementations
 # ---------------------------------------------------------------------------
 
+def _traced(args, label: str, fn) -> int:
+    """Run ``fn`` with telemetry enabled, then write a Chrome trace."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return fn()
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.export import write_chrome_trace
+
+    was = TELEMETRY.enabled
+    TELEMETRY.reset().enable()
+    try:
+        with TELEMETRY.span(label, category="cli"):
+            rc = fn()
+    finally:
+        TELEMETRY.enabled = was
+        write_chrome_trace(trace_out)
+        print(f"trace written to {trace_out} "
+              f"({TELEMETRY.events_emitted} events)", file=sys.stderr)
+    return rc
+
+
 def _cmd_server(args) -> int:
     from repro.distributed.server import main as server_main
 
@@ -80,6 +121,8 @@ def _cmd_server(args) -> int:
         argv += ["--registry", args.registry]
     if args.advertise:
         argv += ["--advertise", args.advertise]
+    if args.telemetry:
+        argv += ["--telemetry"]
     server_main(argv)
     return 0
 
@@ -101,7 +144,34 @@ def _cmd_ping(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from repro.distributed.server import ServerClient
+    from repro.telemetry.export import prometheus_text
+
+    host, _, port = args.target.partition(":")
+    client = ServerClient(host, int(port))
+    try:
+        reply = client.metrics()
+    finally:
+        client.close()
+    if args.raw:
+        for key in sorted(reply["counters"]):
+            print(f"{key} = {reply['counters'][key]:g}")
+    else:
+        print(prometheus_text(reply["counters"]), end="")
+    if not reply.get("telemetry_enabled"):
+        print("# note: telemetry is DISABLED on the server "
+              "(start it with --telemetry or REPRO_TELEMETRY=1)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
+    return _traced(args, f"experiment:{args.which}",
+                   lambda: _run_experiment(args))
+
+
+def _run_experiment(args) -> int:
     from repro.simcluster import (ideal_speed, sequential_times,
                                   sweep_workers, table2_rows)
     from repro.simcluster.paperdata import table2_by_workers
@@ -149,6 +219,11 @@ def _cmd_example(args) -> int:
         for name in EXAMPLES:
             print(name)
         return 0
+    return _traced(args, f"example:{args.which}",
+                   lambda: _run_example(args))
+
+
+def _run_example(args) -> int:
     import os
     import runpy
 
@@ -194,6 +269,7 @@ _HANDLERS = {
     "server": _cmd_server,
     "registry": _cmd_registry,
     "ping": _cmd_ping,
+    "metrics": _cmd_metrics,
     "experiment": _cmd_experiment,
     "example": _cmd_example,
     "check": _cmd_check,

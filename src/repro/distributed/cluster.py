@@ -121,6 +121,28 @@ class LocalCluster:
     def stats(self) -> Dict[str, dict]:
         return {name: c.stats() for name, c in zip(self.names, self.clients)}
 
+    def metrics(self) -> Dict[str, dict]:
+        """Per-server telemetry snapshots (the ``metrics`` op, fanned out)."""
+        return {name: c.metrics()
+                for name, c in zip(self.names, self.clients)}
+
+    def merged_metrics(self) -> Dict[str, float]:
+        """Cluster-wide counter totals, summed across servers.
+
+        The metrics analogue of aggregating ``wait_snapshot`` replies for
+        distributed deadlock detection.  Note that ``mode="thread"``
+        servers share one interpreter-wide hub, so their per-server
+        snapshots coincide; real aggregation happens in
+        ``mode="process"`` (one hub per OS process).
+        """
+        from repro.telemetry.export import merge_counters
+
+        per_server = self.metrics()
+        if self.mode == "thread":
+            # all thread-mode servers read the same hub: don't double-count
+            per_server = dict(list(per_server.items())[:1])
+        return merge_counters(m["counters"] for m in per_server.values())
+
 
 def run_partitioned(local_part: Optional[Process],
                     remote_parts: Sequence[Process],

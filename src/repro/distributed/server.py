@@ -43,6 +43,7 @@ from repro.distributed.migration import loads_migration
 from repro.distributed.registry import RegistryClient
 from repro.distributed.wire import (advertised_host, connect_with_retry,
                                     open_listener, recv_obj, send_obj)
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 __all__ = ["ComputeServer", "ServerClient", "Runnable"]
 
@@ -162,6 +163,19 @@ class ComputeServer:
                         "live_threads": len(self.network.live_threads()),
                         "channels": len(self.network.channels),
                         "failures": failures}
+            if op == "metrics":
+                # Telemetry counterpart of wait_snapshot: one server's
+                # share of a cluster-wide metrics aggregation.  The hub is
+                # process-wide, so thread-mode clusters (several servers in
+                # one interpreter) see the interpreter's combined counters.
+                return {"ok": True, "name": self.name,
+                        "telemetry_enabled": _telemetry.enabled,
+                        "counters": _telemetry.counters(),
+                        "events_emitted": _telemetry.events_emitted,
+                        "tasks_run": self.tasks_run,
+                        "processes_hosted": self.processes_hosted,
+                        "live_threads": len(self.network.live_threads()),
+                        "channels": len(self.network.channels)}
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True).start()
                 return {"ok": True}
@@ -231,6 +245,10 @@ class ServerClient:
     def stats(self) -> dict:
         return self._request({"op": "stats"})
 
+    def metrics(self) -> dict:
+        """The server's telemetry snapshot (counters + hub status)."""
+        return self._request({"op": "metrics"})
+
     def shutdown(self) -> None:
         try:
             self._request({"op": "shutdown"})
@@ -255,7 +273,11 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
                         help="host:port of a registry server")
     parser.add_argument("--advertise", default=None,
                         help="host other servers should dial back")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the telemetry hub (also: REPRO_TELEMETRY=1)")
     args = parser.parse_args(argv)
+    if args.telemetry:
+        _telemetry.enable()
     if args.advertise:
         from repro.distributed.wire import set_advertised_host
 

@@ -39,6 +39,7 @@ from typing import Optional, Tuple
 
 from repro.errors import BrokenChannelError, ChannelError, MigrationError
 from repro.kpn.buffers import BoundedByteBuffer
+from repro.telemetry.core import TELEMETRY as _telemetry
 from repro.distributed.wire import (FrameError, Tag, advertised_host,
                                     connect_with_retry, open_listener,
                                     recv_frame, send_frame)
@@ -208,6 +209,9 @@ class SenderPump(_LinkBase):
                 continue
             try:
                 self._send(Tag.DATA, chunk)
+                if _telemetry.enabled:
+                    _telemetry.inc("link.chunks_out", 1, link=self.name)
+                    _telemetry.inc("link.bytes_out", len(chunk), link=self.name)
                 return
             except OSError:
                 # Socket replaced mid-migration: retry on the new one.
@@ -309,6 +313,10 @@ class ReceiverPump(_LinkBase):
                     self.buffer.close_write()
                     return
                 if tag == Tag.DATA:
+                    if _telemetry.enabled:
+                        _telemetry.inc("link.chunks_in", 1, link=self.name)
+                        _telemetry.inc("link.bytes_in", len(payload),
+                                       link=self.name)
                     try:
                         self.buffer.write(payload)
                     except BrokenChannelError:

@@ -21,11 +21,12 @@ import struct
 from typing import Any, Optional, Tuple
 
 from repro.errors import ChannelError
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 __all__ = [
     "Tag", "send_frame", "recv_frame", "send_obj", "recv_obj",
     "read_exact", "FrameError", "open_listener", "advertised_host",
-    "set_advertised_host", "connect_with_retry",
+    "set_advertised_host", "connect_with_retry", "retry_delays",
 ]
 
 MAX_PAYLOAD = 256 * 1024 * 1024
@@ -43,6 +44,10 @@ class Tag:
     LISTEN_OK = 6    #: reply to LISTEN_REQ: payload = 2-byte port? (pickled int)
     OBJ = 7          #: pickled RPC object (compute server protocol)
     CLOSE_READ = 8   #: consumer closed its end: producer should break
+
+
+#: tag value -> name, for telemetry labels and diagnostics
+TAG_NAMES = {v: k for k, v in vars(Tag).items() if not k.startswith("_")}
 
 
 class FrameError(ChannelError):
@@ -67,6 +72,11 @@ def send_frame(sock: socket.socket, tag: int, payload: bytes = b"") -> None:
     if len(payload) > MAX_PAYLOAD:
         raise FrameError(f"payload of {len(payload)} bytes exceeds cap")
     sock.sendall(_HEADER.pack(tag, len(payload)) + payload)
+    if _telemetry.enabled:
+        name = TAG_NAMES.get(tag, str(tag))
+        _telemetry.inc("wire.frames_sent", 1, tag=name)
+        _telemetry.inc("wire.bytes_sent", _HEADER.size + len(payload),
+                       tag=name)
 
 
 def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
@@ -75,6 +85,10 @@ def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
     if length > MAX_PAYLOAD:
         raise FrameError(f"incoming payload of {length} bytes exceeds cap")
     payload = read_exact(sock, length) if length else b""
+    if _telemetry.enabled:
+        name = TAG_NAMES.get(tag, str(tag))
+        _telemetry.inc("wire.frames_received", 1, tag=name)
+        _telemetry.inc("wire.bytes_received", _HEADER.size + length, tag=name)
     return tag, payload
 
 
@@ -92,6 +106,10 @@ def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
         buf = io.BytesIO()
         pickler_factory(buf).dump(obj)
         payload = buf.getvalue()
+    if _telemetry.enabled:
+        _telemetry.inc("wire.pickles_out")
+        _telemetry.inc("wire.pickle_bytes_out", len(payload))
+        _telemetry.observe("wire.pickle_size", len(payload))
     send_frame(sock, Tag.OBJ, payload)
 
 
@@ -99,6 +117,9 @@ def recv_obj(sock: socket.socket, unpickler_factory=None) -> Any:
     tag, payload = recv_frame(sock)
     if tag != Tag.OBJ:
         raise FrameError(f"expected OBJ frame, got tag {tag}")
+    if _telemetry.enabled:
+        _telemetry.inc("wire.pickles_in")
+        _telemetry.inc("wire.pickle_bytes_in", len(payload))
     if unpickler_factory is None:
         return pickle.loads(payload)
     import io
@@ -137,19 +158,50 @@ def open_listener(port: int = 0, backlog: int = 16) -> socket.socket:
     return listener
 
 
-def connect_with_retry(host: str, port: int, attempts: int = 40,
+def retry_delays(attempts: int, base: float = 0.05, factor: float = 2.0,
+                 max_delay: float = 0.4) -> list:
+    """Pre-jitter backoff schedule: ``base·factor^k`` capped at ``max_delay``.
+
+    One entry per sleep *between* attempts (``attempts - 1`` entries).
+    Kept separate and deterministic so tests can assert the schedule
+    without racing a socket.
+    """
+    return [min(base * factor ** k, max_delay)
+            for k in range(max(attempts - 1, 0))]
+
+
+def connect_with_retry(host: str, port: int, attempts: int = 12,
                        delay: float = 0.05,
-                       timeout: Optional[float] = None) -> socket.socket:
-    """Connect, retrying briefly — a peer's listener may still be starting."""
+                       timeout: Optional[float] = None,
+                       max_delay: float = 0.4) -> socket.socket:
+    """Connect, retrying with jittered exponential backoff.
+
+    A peer's listener may still be starting, so the first retries come
+    quickly; later retries back off exponentially (capped at
+    ``max_delay``) with ±25 % jitter so a herd of reconnecting links does
+    not hammer a recovering host in lockstep.  Attempt counts and the
+    outcome are recorded as ``wire.connect.*`` telemetry counters.
+    """
+    import random
     import time
 
     last: Optional[Exception] = None
-    for _ in range(attempts):
+    schedule = retry_delays(attempts, base=delay, max_delay=max_delay)
+    for attempt in range(attempts):
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if _telemetry.enabled:
+                _telemetry.inc("wire.connect.attempts", attempt + 1)
+                _telemetry.inc("wire.connect.success")
+                if attempt:
+                    _telemetry.inc("wire.connect.retried")
             return sock
         except OSError as exc:
             last = exc
-            time.sleep(delay)
+            if attempt < len(schedule):
+                time.sleep(schedule[attempt] * random.uniform(0.5, 1.0))
+    if _telemetry.enabled:
+        _telemetry.inc("wire.connect.attempts", attempts)
+        _telemetry.inc("wire.connect.failures")
     raise ChannelError(f"cannot connect to {host}:{port}: {last}")

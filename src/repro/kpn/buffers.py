@@ -32,6 +32,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.errors import BrokenChannelError, ChannelClosedError
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 __all__ = ["BlockAccounting", "BoundedByteBuffer", "DEFAULT_CAPACITY"]
 
@@ -254,6 +255,8 @@ class BoundedByteBuffer:
         """
         if not data:
             return
+        if _telemetry.enabled:
+            _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
         view = memoryview(data)
         offset = 0
         with self._lock:
@@ -274,6 +277,9 @@ class BoundedByteBuffer:
                     self.history.extend(chunk)
                 offset += len(chunk)
                 self.total_written += len(chunk)
+                if _telemetry.enabled:
+                    _telemetry.inc("kpn.channel.bytes_written", len(chunk),
+                                   channel=self.name)
                 self._not_empty.notify_all()
                 self._fire_listeners()
 
@@ -281,9 +287,16 @@ class BoundedByteBuffer:
         acct = self.accounting
         if acct is not None:
             acct.enter_write_wait(self)
+        traced = _telemetry.enabled
+        if traced:
+            _telemetry.begin("block.write", category="kpn.block",
+                             channel=self.name, capacity=self._capacity)
+            _telemetry.inc("kpn.channel.write_blocks", 1, channel=self.name)
         try:
             self._not_full.wait()
         finally:
+            if traced:
+                _telemetry.end("block.write", category="kpn.block")
             if acct is not None:
                 acct.exit_write_wait(self)
 
@@ -311,6 +324,11 @@ class BoundedByteBuffer:
                     self._read_pos += len(chunk)
                     self._compact()
                     self.total_read += len(chunk)
+                    if _telemetry.enabled:
+                        _telemetry.inc("kpn.channel.reads", 1,
+                                       channel=self.name)
+                        _telemetry.inc("kpn.channel.bytes_read", len(chunk),
+                                       channel=self.name)
                     self._not_full.notify_all()
                     return chunk
                 if self._write_closed:
@@ -321,9 +339,16 @@ class BoundedByteBuffer:
         acct = self.accounting
         if acct is not None:
             acct.enter_read_wait(self)
+        traced = _telemetry.enabled
+        if traced:
+            _telemetry.begin("block.read", category="kpn.block",
+                             channel=self.name)
+            _telemetry.inc("kpn.channel.read_blocks", 1, channel=self.name)
         try:
             self._not_empty.wait()
         finally:
+            if traced:
+                _telemetry.end("block.read", category="kpn.block")
             if acct is not None:
                 acct.exit_read_wait(self)
 
@@ -397,8 +422,13 @@ class BoundedByteBuffer:
                 raise ValueError(
                     f"cannot shrink channel {self.name!r}: "
                     f"{self._capacity} -> {new_capacity}")
+            old = self._capacity
             self._capacity = new_capacity
             self._not_full.notify_all()
+        if _telemetry.enabled and new_capacity != old:
+            _telemetry.instant("channel.grow", category="kpn.channel",
+                               channel=self.name, old=old, new=new_capacity)
+            _telemetry.inc("kpn.channel.grow_events", 1, channel=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

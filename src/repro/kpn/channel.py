@@ -26,6 +26,7 @@ import time
 from typing import Iterable, Optional, Sequence
 
 from repro.kpn.buffers import BlockAccounting, BoundedByteBuffer, DEFAULT_CAPACITY
+from repro.telemetry.core import TELEMETRY as _telemetry
 from repro.kpn.streams import (
     BlockingInputStream,
     InputStream,
@@ -149,6 +150,10 @@ class Channel:
         self.name = name or f"channel-{next(_channel_counter)}"
         self.buffer = BoundedByteBuffer(capacity, name=self.name,
                                         accounting=accounting)
+        if _telemetry.enabled:
+            _telemetry.inc("kpn.channel.created")
+            _telemetry.instant("channel.created", category="kpn.channel",
+                               channel=self.name, capacity=capacity)
         self._lock = threading.Lock()
         self._input: Optional[ChannelInputStream] = None
         self._output: Optional[ChannelOutputStream] = None

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.errors import ChannelError
 from repro.kpn.channel import Channel
 from repro.kpn.streams import InputStream, OutputStream
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 __all__ = ["Process", "IterativeProcess", "CompositeProcess", "StopProcess"]
 
@@ -244,6 +245,12 @@ class IterativeProcess(Process):
 
     def run(self) -> None:
         abandoned = False
+        traced = _telemetry.enabled
+        if traced:
+            _telemetry.begin(self.name, category="kpn.process",
+                             kind=type(self).__name__)
+            _telemetry.inc("kpn.process.started")
+        reason = "limit"
         try:
             if not self._live_migrated:
                 self.on_start()
@@ -253,24 +260,30 @@ class IterativeProcess(Process):
             while self.iterations <= 0 or self.steps_completed < self.iterations:
                 if self._pause_point():
                     abandoned = True
+                    reason = "abandoned"
                     return
                 self.step()
                 self.steps_completed += 1
         except StopProcess:
             # Voluntary, data-dependent termination (Guard, ConsumerTask
             # finding its answer): treated like an iteration limit.
-            pass
+            reason = "stop"
         except ChannelError:
             # Normal termination signal: an upstream or downstream process
             # stopped and closed its streams (section 3.4).
-            pass
+            reason = "channel-closed"
         except Exception as exc:  # noqa: BLE001 - report, then still clean up
             self.failure = exc
+            reason = "failure"
         finally:
             if not abandoned:
                 self.on_stop()
             # abandoned: the streams belong to the migrated copy now —
             # closing them here would sever the moved process's channels.
+            if traced:
+                _telemetry.end(self.name, category="kpn.process",
+                               reason=reason, steps=self.steps_completed)
+                _telemetry.inc("kpn.process.terminated", 1, reason=reason)
 
 
 class CompositeProcess(Process):
@@ -309,6 +322,11 @@ class CompositeProcess(Process):
         return leaves
 
     def run(self) -> None:
+        traced = _telemetry.enabled
+        if traced:
+            _telemetry.begin(self.name, category="kpn.process",
+                             kind=type(self).__name__,
+                             members=len(self.processes))
         threads = []
         for p in self.processes:
             if p.network is None:
@@ -324,6 +342,9 @@ class CompositeProcess(Process):
         failures = [p for p in self.processes if p.failure is not None]
         if failures:
             self.failure = failures[0].failure
+        if traced:
+            _telemetry.end(self.name, category="kpn.process",
+                           failures=len(failures))
 
     def close_all_streams(self) -> None:
         super().close_all_streams()

@@ -34,6 +34,7 @@ from repro.errors import (
     ArtificialDeadlockError,
     TrueDeadlockError,
 )
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kpn.network import Network
@@ -198,6 +199,13 @@ class DeadlockMonitor:
         buffer.grow(new)
         event = GrowthEvent(buffer.name, old, new, names)
         self.growth_events.append(event)
+        if _telemetry.enabled:
+            # buffer.grow already emitted the channel.grow instant; this
+            # one carries the scheduler's verdict (who was blocked).
+            _telemetry.instant("deadlock.artificial", category="kpn.scheduler",
+                               channel=buffer.name, old=old, new=new,
+                               blocked=len(names))
+            _telemetry.inc("kpn.scheduler.artificial_deadlocks")
         if self.on_event is not None:
             self.on_event(event)
 
@@ -211,6 +219,10 @@ class DeadlockMonitor:
             # distributed deadlock detection the paper leaves as future
             # work (section 6.2), so we stand down.
             return
+        if _telemetry.enabled:
+            _telemetry.instant("deadlock.true", category="kpn.scheduler",
+                               blocked=len(names))
+            _telemetry.inc("kpn.scheduler.true_deadlocks")
         if self.policy.on_true == "raise":
             self.error = TrueDeadlockError(
                 f"true deadlock: all processes blocked reading: {names}", names)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.kpn.network import Network
+from repro.telemetry.core import TELEMETRY as _telemetry, Event
 
 __all__ = ["Tracer", "TraceReport", "ChannelTrace"]
 
@@ -133,21 +134,48 @@ class Tracer:
         self._elapsed = 0.0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: growth events collected off the telemetry bus (when enabled),
+        #: replacing the monitor double-bookkeeping
+        self._bus_growths: List[dict] = []
+        self._bus_lock = threading.Lock()
+        self._subscribed = False
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "Tracer":
         self._t0 = time.monotonic()
+        if _telemetry.enabled:
+            # Event-bus mode: growth events arrive as channel.grow
+            # instants; the sampling loop below still owns the occupancy
+            # and blocked-census timelines (those are censuses, not
+            # events).
+            _telemetry.subscribe(self._on_event)
+            self._subscribed = True
         self._thread = threading.Thread(target=self._run, name="tracer",
                                         daemon=True)
         self._thread.start()
         return self
 
+    def _on_event(self, event: Event) -> None:
+        if event.name == "channel.grow" and event.args:
+            with self._bus_lock:
+                self._bus_growths.append({
+                    "channel": event.args.get("channel"),
+                    "old": event.args.get("old"),
+                    "new": event.args.get("new"),
+                })
+
     def stop(self) -> None:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        if self._subscribed:
+            _telemetry.unsubscribe(self._on_event)
+            self._subscribed = False
+        # Final sample *before* freezing the duration (it catches post-run
+        # totals), so its timestamp cannot land past the reported duration
+        # in to_json() timelines; _sample additionally clamps.
+        self._sample()
         self._elapsed = time.monotonic() - self._t0
-        self._sample()  # final state, catches post-run totals
 
     def __enter__(self) -> "Tracer":
         return self.start()
@@ -163,6 +191,8 @@ class Tracer:
 
     def _sample(self) -> None:
         now = time.monotonic() - self._t0
+        if self._elapsed:
+            now = min(now, self._elapsed)
         self._samples += 1
         with self.network._lock:
             channels = list(self.network.channels)
@@ -184,12 +214,20 @@ class Tracer:
 
     # -- results ------------------------------------------------------------
     def report(self) -> TraceReport:
-        growths = [
-            {"channel": e.channel_name, "old": e.old_capacity,
-             "new": e.new_capacity}
-            for e in (self.network.monitor.growth_events
-                      if self.network.monitor else [])
-        ]
+        with self.network._lock:
+            known = {ch.name for ch in self.network.channels}
+        with self._bus_lock:
+            # the bus is process-wide; keep only this network's channels
+            growths = [g for g in self._bus_growths if g["channel"] in known]
+        if not growths:
+            # Telemetry was off during the run: fall back to the
+            # monitor's own growth bookkeeping.
+            growths = [
+                {"channel": e.channel_name, "old": e.old_capacity,
+                 "new": e.new_capacity}
+                for e in (self.network.monitor.growth_events
+                          if self.network.monitor else [])
+            ]
         duration = self._elapsed or (time.monotonic() - self._t0)
         return TraceReport(duration=duration, samples=self._samples,
                            channels=dict(self._channels),

@@ -26,6 +26,7 @@ from repro.kpn.process import IterativeProcess, StopProcess
 from repro.kpn.streams import InputStream, OutputStream
 from repro.parallel.tasks import STOP
 from repro.processes.codecs import OBJECT
+from repro.telemetry.core import TELEMETRY as _telemetry
 
 __all__ = ["Producer", "Worker", "Consumer"]
 
@@ -48,6 +49,8 @@ class Producer(IterativeProcess):
         work = self.task.run()
         if work is None:
             raise StopProcess
+        if _telemetry.enabled:
+            _telemetry.inc("parallel.tasks_produced", 1, producer=self.name)
         OBJECT.write(self.out, work)
 
 
@@ -72,10 +75,19 @@ class Worker(IterativeProcess):
 
     def step(self) -> None:
         task = OBJECT.read(self.source)
+        traced = _telemetry.enabled
+        t0 = time.perf_counter() if traced else 0.0
         result = task.run()
         if self.slowdown > 0.0:
             time.sleep(self.slowdown)
         self.tasks_processed += 1
+        if traced:
+            # latency includes the slowdown: it emulates a slower CPU, and
+            # the per-worker distribution is exactly the heterogeneity the
+            # MetaStatic-vs-MetaDynamic comparison (Table 2) hinges on.
+            _telemetry.observe("parallel.task_seconds",
+                               time.perf_counter() - t0, worker=self.name)
+            _telemetry.inc("parallel.tasks_processed", 1, worker=self.name)
         OBJECT.write(self.out, result)
 
     def __getstate__(self) -> dict:
@@ -109,6 +121,8 @@ class Consumer(IterativeProcess):
         # Plain values are their own result — lets workloads whose worker
         # tasks return bare data skip defining a consumer-task class.
         value = run() if callable(run) else task
+        if _telemetry.enabled:
+            _telemetry.inc("parallel.results_consumed", 1, consumer=self.name)
         if self.collect_into is not None:
             self.collect_into.append(value)
         if value == STOP:

@@ -25,7 +25,7 @@ before starting the network (``harness.distribute(cluster)``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.kpn.channel import Channel
 from repro.kpn.network import Network
@@ -52,6 +52,9 @@ class ParallelHarness:
 
     plumbing: List[Process] = field(default_factory=list)
     workers: List[Process] = field(default_factory=list)
+    #: names of the workers, kept after :meth:`distribute` ships the
+    #: objects away, so load accounting can still address them
+    worker_names: List[str] = field(default_factory=list)
 
     def all_processes(self) -> List[Process]:
         return [*self.plumbing, *self.workers]
@@ -78,12 +81,72 @@ class ParallelHarness:
         """
         import time
 
+        self.worker_names = [w.name for w in self.workers]
         for i, worker in enumerate(self.workers):
             cluster.client(i % len(cluster.clients)).run(worker)
             if settle:
                 time.sleep(settle)
         self.workers = []
         return self
+
+    # -- load accounting (the Table 2 / Figure 19-20 raw data) ---------------
+    def task_counts(self, counters: Optional[Mapping[str, float]] = None
+                    ) -> Dict[str, int]:
+        """Tasks processed per worker.
+
+        Resolution order: an explicit flat counter snapshot (pass
+        ``LocalCluster.merged_metrics()`` after a distributed run), then
+        live local worker objects, then the local telemetry hub.
+        """
+        from repro.telemetry.core import TELEMETRY, render_key
+
+        names = self.worker_names or [w.name for w in self.workers]
+        counts: Dict[str, int] = {n: 0 for n in names}
+        local = {w.name: getattr(w, "tasks_processed", 0)
+                 for w in self.workers}
+        for name in counts:
+            if counters is not None:
+                key = render_key("parallel.tasks_processed",
+                                 (("worker", name),))
+                counts[name] = int(counters.get(key, 0))
+            if not counts[name]:
+                counts[name] = local.get(name, 0)
+            if not counts[name]:
+                counts[name] = int(TELEMETRY.counter(
+                    "parallel.tasks_processed", worker=name))
+        return counts
+
+    def load_shares(self, counters: Optional[Mapping[str, float]] = None
+                    ) -> Dict[str, float]:
+        """Fraction of all processed tasks each worker handled.
+
+        Under MetaStatic the shares are equal by construction; under
+        MetaDynamic they skew toward the faster workers — the per-host
+        load shares behind the paper's Figures 19/20.
+        """
+        counts = self.task_counts(counters)
+        total = sum(counts.values())
+        if not total:
+            return {n: 0.0 for n in counts}
+        return {n: c / total for n, c in counts.items()}
+
+    def latency_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker task-latency summaries from the local telemetry hub.
+
+        ``{worker: {count, sum, min, max, mean}}`` — empty when telemetry
+        was disabled during the run.
+        """
+        from repro.telemetry.core import TELEMETRY, render_key
+
+        names = self.worker_names or [w.name for w in self.workers]
+        hists = TELEMETRY.histograms()
+        out: Dict[str, Dict[str, float]] = {}
+        for name in names:
+            key = render_key("parallel.task_seconds", (("worker", name),))
+            hist = hists.get(key)
+            if hist is not None:
+                out[name] = hist.as_dict()
+        return out
 
 
 def _default_worker_factory(slowdowns: Optional[List[float]] = None) -> WorkerFactory:
@@ -117,6 +180,7 @@ def meta_static(tasks_in, results_out, n_workers: int,
             factory(i, w_in[i].get_input_stream(), w_out[i].get_output_stream()))
     harness.plumbing.append(
         Gather([c.get_input_stream() for c in w_out], results_out, name="Gather"))
+    harness.worker_names = [w.name for w in harness.workers]
     return harness
 
 
@@ -166,4 +230,5 @@ def meta_dynamic(tasks_in, results_out, n_workers: int,
                   name="Turnstile"))
     harness.plumbing.append(
         Select(pairs.get_input_stream(), results_out, n_workers, name="Select"))
+    harness.worker_names = [w.name for w in harness.workers]
     return harness

@@ -1,0 +1,29 @@
+"""repro.telemetry — low-overhead observability for all three layers.
+
+* :mod:`repro.telemetry.core` — the process-wide event bus, counter
+  registry, and latency histograms behind the :data:`TELEMETRY` hub;
+* :mod:`repro.telemetry.export` — Chrome trace-event JSON (Perfetto),
+  Prometheus text exposition, and cluster-wide merged reports.
+
+Quickstart::
+
+    from repro.telemetry import TELEMETRY
+    from repro.telemetry.export import write_chrome_trace
+
+    TELEMETRY.enable()
+    ...run a network...
+    print(TELEMETRY.counters()["kpn.channel.bytes_written{channel=ch-0}"])
+    write_chrome_trace("trace.json")
+"""
+
+from repro.telemetry.core import (Event, HistogramData, TELEMETRY,
+                                  TelemetryHub, render_key)
+from repro.telemetry.export import (chrome_trace, cluster_report,
+                                    merge_counters, prometheus_text,
+                                    write_chrome_trace)
+
+__all__ = [
+    "Event", "HistogramData", "TELEMETRY", "TelemetryHub", "render_key",
+    "chrome_trace", "cluster_report", "merge_counters", "prometheus_text",
+    "write_chrome_trace",
+]

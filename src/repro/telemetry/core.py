@@ -1,0 +1,314 @@
+"""Telemetry core: a process-wide event bus and counter registry.
+
+The paper's entire evaluation is about runtime *dynamics* — buffer growth
+under Parks scheduling, blocked-thread censuses, per-host load shares —
+so the runtime needs a way to narrate what it is doing that is
+
+* **off by default and near-free when off**: every instrumentation site
+  guards on a single attribute read (``if TELEMETRY.enabled:``), so the
+  hot paths (buffer reads/writes, frame send/recv) pay one branch;
+* **thread-safe**: processes are one thread each, pumps and monitors add
+  more; events and counters may be produced from any of them concurrently;
+* **uniform across the three layers**: the KPN runtime, the distributed
+  wire, and the parallel farm all speak the same vocabulary, so one
+  exporter (:mod:`repro.telemetry.export`) can render a local run and a
+  cluster-wide aggregate alike.
+
+Three instrument kinds:
+
+* **events** — timestamped records in a bounded ring buffer.  Phases use
+  the Chrome trace-event convention directly: ``"B"``/``"E"`` bracket a
+  span on one thread (process lifetime, a blocked read), ``"i"`` is an
+  instant (a capacity growth, a deadlock verdict).  Subscribers (the
+  :class:`~repro.kpn.tracing.Tracer`, tests) receive each event as it is
+  emitted.
+* **counters** — monotonically increasing values keyed by name plus
+  optional labels (``inc("wire.frames_sent", 1, tag="DATA")``).
+* **histograms** — count/sum/min/max plus power-of-two bucket counts,
+  for per-task latency distributions.
+
+Timestamps are seconds since the hub's epoch (reset by :meth:`reset`),
+monotonic, so exported traces are internally consistent.
+
+Enable programmatically (``TELEMETRY.enable()``), per scope
+(``with TELEMETRY.enabled_scope(): ...``), or for a whole process via the
+``REPRO_TELEMETRY`` environment variable (any non-empty value other than
+``0``) — the knob used to start instrumented compute servers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Event", "HistogramData", "TelemetryHub", "TELEMETRY", "render_key"]
+
+#: label tuple type: sorted ((key, value), ...) pairs
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Event:
+    """One telemetry event (phases follow the Chrome trace convention)."""
+
+    __slots__ = ("ts", "phase", "name", "category", "tid", "thread_name", "args")
+
+    def __init__(self, ts: float, phase: str, name: str, category: str,
+                 tid: int, thread_name: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self.ts = ts
+        self.phase = phase          # "B" | "E" | "i"
+        self.name = name
+        self.category = category
+        self.tid = tid
+        self.thread_name = thread_name
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Event {self.phase} {self.name!r} cat={self.category!r} "
+                f"t={self.ts:.6f}>")
+
+
+class HistogramData:
+    """Running distribution summary: count/sum/min/max + log2 buckets.
+
+    Buckets are powers of two in seconds starting at ~1 µs; bucket ``i``
+    counts observations with ``value <= 2**(i - 20)`` seconds (the last
+    bucket is unbounded).  Coarse, but enough to separate "microseconds"
+    from "milliseconds" from "seconds" per-task latencies without a
+    dependency.
+    """
+
+    N_BUCKETS = 32
+    _BOUNDS = tuple(2.0 ** (i - 20) for i in range(N_BUCKETS - 1))
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets = [0] * self.N_BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self._BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min if self.count else 0.0, "max": self.max,
+                "mean": self.mean()}
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: LabelItems) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,k2=v2}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, LabelItems]:
+    """Inverse of :func:`render_key` (used by the exporters)."""
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    inner = rest.rstrip("}")
+    labels = tuple(tuple(item.split("=", 1)) for item in inner.split(",") if item)
+    return name, labels  # type: ignore[return-value]
+
+
+class TelemetryHub:
+    """The event bus + counter registry.  One process-wide instance.
+
+    All mutating entry points are cheap no-ops while :attr:`enabled` is
+    False; call sites additionally guard on the attribute to skip argument
+    construction entirely.
+    """
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        #: the one flag hot paths read.  Plain attribute on purpose.
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._hists: Dict[Tuple[str, LabelItems], HistogramData] = {}
+        self._subscribers: List[Callable[[Event], None]] = []
+        self._t0 = time.monotonic()
+        #: total events ever emitted (survives ring-buffer eviction)
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> "TelemetryHub":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "TelemetryHub":
+        self.enabled = False
+        return self
+
+    def reset(self) -> "TelemetryHub":
+        """Drop all recorded data and restart the clock (keeps ``enabled``)."""
+        with self._lock:
+            self._events.clear()
+            self._counters.clear()
+            self._hists.clear()
+            self._t0 = time.monotonic()
+            self.events_emitted = 0
+        return self
+
+    @contextmanager
+    def enabled_scope(self, reset: bool = False) -> Iterator["TelemetryHub"]:
+        """Enable for the duration of a ``with`` block, restoring after."""
+        was = self.enabled
+        if reset:
+            self.reset()
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = was
+
+    def now(self) -> float:
+        """Seconds since the hub epoch (monotonic)."""
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _emit(self, phase: str, name: str, category: str,
+              args: Optional[Dict[str, Any]]) -> None:
+        if not self.enabled:
+            return
+        t = threading.current_thread()
+        event = Event(self.now(), phase, name, category, t.ident or 0,
+                      t.name, args or None)
+        with self._lock:
+            self._events.append(event)
+            self.events_emitted += 1
+            subscribers = list(self._subscribers) if self._subscribers else ()
+        # Outside the lock: a subscriber may itself query the hub.  Note
+        # that emit sites inside buffer critical sections still hold the
+        # *buffer* lock here, so subscribers must never touch channels —
+        # append-to-list / set-an-Event only (same rule as buffer
+        # listeners).
+        for cb in subscribers:
+            try:
+                cb(event)
+            except Exception:
+                pass
+
+    def begin(self, name: str, category: str = "repro", **args: Any) -> None:
+        """Open a span on the calling thread (Chrome ``B`` phase)."""
+        self._emit("B", name, category, args)
+
+    def end(self, name: str, category: str = "repro", **args: Any) -> None:
+        """Close the innermost span of ``name`` on this thread (``E``)."""
+        self._emit("E", name, category, args)
+
+    def instant(self, name: str, category: str = "repro", **args: Any) -> None:
+        """A point event (``i`` phase)."""
+        self._emit("i", name, category, args)
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro", **args: Any) -> Iterator[None]:
+        self.begin(name, category, **args)
+        try:
+            yield
+        finally:
+            self.end(name, category)
+
+    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register ``callback`` for every subsequent event; returns it
+        (handy for later :meth:`unsubscribe`)."""
+        with self._lock:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+    def events(self) -> List[Event]:
+        """Snapshot of the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    # ------------------------------------------------------------------
+    # counters / histograms
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` to the counter ``name`` with ``labels``."""
+        if not self.enabled:
+            return
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the histogram ``name`` with ``labels``."""
+        if not self.enabled:
+            return
+        key = (name, _labels_key(labels))
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = HistogramData()
+            hist.observe(value)
+
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get((name, _labels_key(labels)), 0)
+
+    def counters(self) -> Dict[str, float]:
+        """Consistent flat snapshot: ``{rendered_key: value}``.
+
+        Histograms are folded in as ``name.count`` / ``name.sum`` /
+        ``name.max`` (picklable, so this is exactly what the compute
+        server's ``metrics`` op returns).
+        """
+        with self._lock:
+            out = {render_key(n, l): v for (n, l), v in self._counters.items()}
+            for (n, l), h in self._hists.items():
+                out[render_key(f"{n}.count", l)] = h.count
+                out[render_key(f"{n}.sum", l)] = h.total
+                out[render_key(f"{n}.max", l)] = h.max
+        return out
+
+    def histograms(self) -> Dict[str, HistogramData]:
+        """Rendered-key snapshot of histogram objects (local use only)."""
+        with self._lock:
+            return {render_key(n, l): h for (n, l), h in self._hists.items()}
+
+
+#: the process-wide hub every instrumentation site uses
+TELEMETRY = TelemetryHub()
+
+if os.environ.get("REPRO_TELEMETRY", "0") not in ("", "0", "false", "no"):
+    TELEMETRY.enable()

@@ -1,0 +1,29 @@
+"""Telemetry test helpers.
+
+The hub is process-wide, so every test here must leave it exactly as it
+found it (disabled, empty) or the rest of the suite would silently start
+paying for instrumentation — and counters would leak between tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.core import TELEMETRY
+
+
+@pytest.fixture
+def hub():
+    """The global hub, reset and enabled; disabled and wiped afterwards."""
+    TELEMETRY.reset().enable()
+    try:
+        yield TELEMETRY
+    finally:
+        TELEMETRY.disable().reset()
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    """Safety net: whatever a test does, the hub ends up off and empty."""
+    yield
+    TELEMETRY.disable().reset()

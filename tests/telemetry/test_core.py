@@ -1,0 +1,205 @@
+"""TelemetryHub unit behaviour: no-op when off, thread-safe when on."""
+
+import threading
+
+from repro.telemetry.core import (TELEMETRY, HistogramData, TelemetryHub,
+                                  parse_key, render_key)
+
+
+# ---------------------------------------------------------------------------
+# enable / disable
+# ---------------------------------------------------------------------------
+
+def test_disabled_hub_records_nothing():
+    h = TelemetryHub()
+    h.begin("x")
+    h.end("x")
+    h.instant("x")
+    h.inc("c", 5)
+    h.observe("h", 0.1)
+    assert h.events() == []
+    assert h.counters() == {}
+    assert h.events_emitted == 0
+
+
+def test_enable_disable_toggle_recording():
+    h = TelemetryHub()
+    h.enable()
+    h.inc("c")
+    h.disable()
+    h.inc("c")
+    assert h.counter("c") == 1
+
+
+def test_enabled_scope_restores_prior_state():
+    h = TelemetryHub()
+    with h.enabled_scope():
+        assert h.enabled
+        h.inc("c")
+    assert not h.enabled
+    assert h.counter("c") == 1
+    h.enable()
+    with h.enabled_scope(reset=True):
+        pass
+    assert h.enabled  # restored to the enabled it had before the scope
+    assert h.counter("c") == 0  # reset=True wiped it
+
+
+def test_reset_keeps_enabled_flag():
+    h = TelemetryHub().enable()
+    h.inc("c")
+    h.reset()
+    assert h.enabled
+    assert h.counters() == {}
+    assert h.events_emitted == 0
+
+
+def test_global_hub_disabled_by_default():
+    # tier-1 runs without REPRO_TELEMETRY; the _no_leak fixture keeps it so
+    assert not TELEMETRY.enabled
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+
+def test_span_emits_matched_begin_end_on_one_thread():
+    h = TelemetryHub().enable()
+    with h.span("work", category="test", detail=1):
+        h.instant("tick", category="test")
+    phases = [(e.phase, e.name) for e in h.events()]
+    assert phases == [("B", "work"), ("i", "tick"), ("E", "work")]
+    b, i, e = h.events()
+    assert b.tid == e.tid == threading.get_ident()
+    assert b.ts <= i.ts <= e.ts
+    assert b.args == {"detail": 1}
+
+
+def test_ring_buffer_bounds_memory_but_counts_everything():
+    h = TelemetryHub(max_events=10).enable()
+    for k in range(25):
+        h.instant(f"e{k}")
+    assert len(h.events()) == 10
+    assert h.events_emitted == 25
+    assert h.events()[0].name == "e15"  # oldest kept is the 16th
+
+
+def test_subscriber_sees_events_and_unsubscribe_stops_them():
+    h = TelemetryHub().enable()
+    seen = []
+    cb = h.subscribe(seen.append)
+    h.instant("one")
+    h.unsubscribe(cb)
+    h.instant("two")
+    assert [e.name for e in seen] == ["one"]
+
+
+def test_broken_subscriber_does_not_break_emission():
+    h = TelemetryHub().enable()
+
+    def boom(event):
+        raise RuntimeError("subscriber bug")
+
+    h.subscribe(boom)
+    h.instant("still-recorded")
+    assert [e.name for e in h.events()] == ["still-recorded"]
+
+
+def test_concurrent_emit_from_many_threads_loses_nothing():
+    h = TelemetryHub().enable()
+    n_threads, per_thread = 8, 200
+
+    def work():
+        for _ in range(per_thread):
+            h.instant("evt")
+            h.inc("total")
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.events_emitted == n_threads * per_thread
+    assert h.counter("total") == n_threads * per_thread
+
+
+# ---------------------------------------------------------------------------
+# counters / snapshot consistency
+# ---------------------------------------------------------------------------
+
+def test_counters_are_labelled_independently():
+    h = TelemetryHub().enable()
+    h.inc("wire.frames", 2, tag="DATA")
+    h.inc("wire.frames", 1, tag="OBJ")
+    assert h.counter("wire.frames", tag="DATA") == 2
+    assert h.counter("wire.frames", tag="OBJ") == 1
+    assert h.counter("wire.frames") == 0  # unlabelled is a distinct series
+
+
+def test_counter_snapshots_are_internally_consistent_under_races():
+    """Each thread bumps ``first`` strictly before ``second``; any
+    lock-consistent snapshot must therefore show first >= second."""
+    h = TelemetryHub().enable()
+    stop = threading.Event()
+    violations = []
+
+    def writer():
+        while not stop.is_set():
+            h.inc("first")
+            h.inc("second")
+
+    def reader():
+        while not stop.is_set():
+            snap = h.counters()
+            a, b = snap.get("first", 0), snap.get("second", 0)
+            if a < b:
+                violations.append((a, b))
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    stop.wait(0.3)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not violations
+
+
+# ---------------------------------------------------------------------------
+# histograms
+# ---------------------------------------------------------------------------
+
+def test_histogram_summary_stats():
+    hist = HistogramData()
+    for v in (0.001, 0.002, 0.009):
+        hist.observe(v)
+    assert hist.count == 3
+    assert abs(hist.total - 0.012) < 1e-12
+    assert hist.min == 0.001
+    assert hist.max == 0.009
+    assert abs(hist.mean() - 0.004) < 1e-12
+    assert sum(hist.buckets) == 3
+    d = hist.as_dict()
+    assert d["count"] == 3 and d["max"] == 0.009
+
+
+def test_histograms_fold_into_counter_snapshot():
+    h = TelemetryHub().enable()
+    h.observe("task_seconds", 0.5, worker="w0")
+    h.observe("task_seconds", 1.5, worker="w0")
+    snap = h.counters()
+    assert snap["task_seconds.count{worker=w0}"] == 2
+    assert snap["task_seconds.sum{worker=w0}"] == 2.0
+    assert snap["task_seconds.max{worker=w0}"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# key rendering
+# ---------------------------------------------------------------------------
+
+def test_render_parse_key_roundtrip():
+    key = render_key("kpn.channel.bytes", (("channel", "fib-out"),))
+    assert key == "kpn.channel.bytes{channel=fib-out}"
+    assert parse_key(key) == ("kpn.channel.bytes", (("channel", "fib-out"),))
+    assert parse_key("plain") == ("plain", ())

@@ -1,0 +1,114 @@
+"""Exporters: Chrome trace JSON, Prometheus text, cluster aggregation."""
+
+import json
+
+from repro.telemetry.core import TelemetryHub
+from repro.telemetry.export import (chrome_trace, cluster_report,
+                                    merge_counters, prometheus_text,
+                                    write_chrome_trace)
+
+
+def _sample_hub():
+    h = TelemetryHub().enable()
+    with h.span("outer", category="test", step=1):
+        h.instant("blip", category="test", channel="c0")
+    return h
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_structure():
+    h = _sample_hub()
+    doc = chrome_trace(h.events(), pid=42, process_name="unit")
+    assert json.loads(json.dumps(doc)) == doc  # JSON-serialisable
+    items = doc["traceEvents"]
+    metas = [i for i in items if i["ph"] == "M"]
+    assert {"process_name", "thread_name"} <= {m["name"] for m in metas}
+    assert all(m["pid"] == 42 for m in metas)
+    begins = [i for i in items if i["ph"] == "B"]
+    ends = [i for i in items if i["ph"] == "E"]
+    instants = [i for i in items if i["ph"] == "i"]
+    assert len(begins) == len(ends) == len(instants) == 1
+    assert instants[0]["s"] == "t"
+    assert instants[0]["args"] == {"channel": "c0"}
+    # timestamps are microseconds, ordered B <= i <= E
+    assert begins[0]["ts"] <= instants[0]["ts"] <= ends[0]["ts"]
+    assert begins[0]["args"] == {"step": 1}
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    h = _sample_hub()
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(path, h.events()) == path
+    with open(path) as fh:
+        doc = json.load(fh)
+    phases = [i["ph"] for i in doc["traceEvents"]]
+    assert phases.count("B") == phases.count("E") == 1
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_defaults_to_global_hub(hub):
+    hub.instant("global-blip")
+    doc = chrome_trace()
+    assert any(i["name"] == "global-blip" for i in doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text
+# ---------------------------------------------------------------------------
+
+def test_prometheus_text_format():
+    counters = {
+        "wire.frames_sent{tag=DATA}": 7,
+        "wire.frames_sent{tag=OBJ}": 2,
+        "kpn.process.started": 3,
+    }
+    text = prometheus_text(counters)
+    lines = text.splitlines()
+    assert "# TYPE repro_wire_frames_sent counter" in lines
+    assert 'repro_wire_frames_sent{tag="DATA"} 7' in lines
+    assert 'repro_wire_frames_sent{tag="OBJ"} 2' in lines
+    assert "repro_kpn_process_started 3" in lines
+    assert text.endswith("\n")
+    # every non-comment line is "name[{labels}] value"
+    for line in lines:
+        if not line.startswith("#"):
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name[0].isalpha()
+
+
+def test_prometheus_text_empty_snapshot():
+    assert prometheus_text({}) == ""
+
+
+# ---------------------------------------------------------------------------
+# cluster aggregation
+# ---------------------------------------------------------------------------
+
+def test_merge_counters_sums_key_by_key():
+    merged = merge_counters([
+        {"a": 1, "b{x=1}": 2},
+        {"a": 3, "c": 5},
+    ])
+    assert merged == {"a": 4, "b{x=1}": 2, "c": 5}
+
+
+def test_cluster_report_lists_totals_and_breakdown():
+    report = cluster_report({
+        "alpha": {"wire.bytes_sent{tag=DATA}": 100},
+        "beta": {"wire.bytes_sent{tag=DATA}": 50, "only.beta": 1},
+    })
+    assert "2 server(s)" in report
+    assert "wire.bytes_sent{tag=DATA} = 150" in report
+    assert "alpha=100" in report and "beta=50" in report
+    assert "only.beta = 1" in report
+
+
+def test_cluster_report_top_limits_rows():
+    per = {"one": {f"k{i}": i for i in range(10)}}
+    report = cluster_report(per, top=3)
+    body = report.splitlines()[1:]
+    assert len(body) == 3

@@ -1,0 +1,77 @@
+"""The ``metrics`` RPC op and cluster-wide aggregation, end to end."""
+
+import pytest
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.server import ComputeServer, ServerClient
+from repro.parallel import CallableTask
+
+
+@pytest.fixture
+def server_client():
+    server = ComputeServer(name="metrics-server").start()
+    client = ServerClient("127.0.0.1", server.port)
+    yield server, client
+    client.close()
+    server.stop()
+
+
+def test_metrics_op_reports_live_wire_counters(hub, server_client):
+    """The acceptance flow: talk to a live server with telemetry on, then
+    scrape it — wire counters must be non-zero and self-describing."""
+    _, client = server_client
+    assert client.ping() == "metrics-server"
+    client.call(CallableTask(pow, 2, 8))
+    reply = client.metrics()
+    assert reply["ok"] and reply["telemetry_enabled"]
+    assert reply["name"] == "metrics-server"
+    counters = reply["counters"]
+    # thread-mode server shares this process's hub: both directions visible
+    sent = sum(v for k, v in counters.items()
+               if k.startswith("wire.frames_sent"))
+    received = sum(v for k, v in counters.items()
+                   if k.startswith("wire.frames_received"))
+    assert sent > 0 and received > 0
+    assert sum(v for k, v in counters.items()
+               if k.startswith("wire.pickle_bytes_out")) > 0
+    assert reply["events_emitted"] == hub.events_emitted
+    assert isinstance(reply["tasks_run"], int) and reply["tasks_run"] >= 1
+
+
+def test_metrics_op_when_telemetry_disabled(server_client):
+    _, client = server_client
+    reply = client.metrics()
+    assert reply["ok"]
+    assert reply["telemetry_enabled"] is False
+
+
+def test_metrics_counters_are_plain_picklable_types(hub, server_client):
+    _, client = server_client
+    client.ping()
+    counters = client.metrics()["counters"]
+    assert counters  # the metrics request itself produced wire traffic
+    for key, value in counters.items():
+        assert isinstance(key, str)
+        assert isinstance(value, (int, float))
+
+
+def test_cluster_metrics_fanout_and_merge(hub):
+    cluster = LocalCluster(2).start()
+    try:
+        for c in cluster.clients:
+            c.ping()
+        per_server = cluster.metrics()
+        assert set(per_server) == set(cluster.names)
+        for snap in per_server.values():
+            assert snap["ok"] and snap["telemetry_enabled"]
+        merged = cluster.merged_metrics()
+        assert merged
+        assert any(k.startswith("wire.frames_received") for k in merged)
+        # thread mode dedupes to one shared hub, so the merged totals are a
+        # plain (later) snapshot: every counter monotonically >= the first
+        # fan-out's reading, never a double-counted sum.
+        first = list(per_server.values())[0]["counters"]
+        for key, value in first.items():
+            assert merged.get(key, 0) >= value
+    finally:
+        cluster.stop()

@@ -1,0 +1,90 @@
+"""connect_with_retry: jittered exponential backoff + connection counters."""
+
+import socket
+
+import pytest
+
+from repro.distributed.wire import connect_with_retry, retry_delays
+from repro.errors import ChannelError
+
+
+def _free_unbound_port() -> int:
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+# ---------------------------------------------------------------------------
+# the deterministic schedule (jitter is applied on top of this)
+# ---------------------------------------------------------------------------
+
+def test_retry_delays_double_up_to_the_cap():
+    assert retry_delays(1) == []
+    assert retry_delays(2, base=0.05) == [0.05]
+    assert retry_delays(5, base=0.05, factor=2.0, max_delay=0.4) == \
+        [0.05, 0.1, 0.2, 0.4]
+    # once capped, the schedule stays flat — no unbounded waits
+    sched = retry_delays(12, base=0.05, max_delay=0.4)
+    assert len(sched) == 11
+    assert max(sched) == 0.4
+    assert sched[-3:] == [0.4, 0.4, 0.4]
+
+
+def test_retry_delays_zero_attempts():
+    assert retry_delays(0) == []
+
+
+# ---------------------------------------------------------------------------
+# live behaviour + telemetry
+# ---------------------------------------------------------------------------
+
+def test_connect_success_increments_counters(hub):
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    try:
+        sock = connect_with_retry("127.0.0.1", port, attempts=3)
+        sock.close()
+    finally:
+        listener.close()
+    assert hub.counter("wire.connect.attempts") >= 1
+    assert hub.counter("wire.connect.success") == 1
+    assert hub.counter("wire.connect.failures") == 0
+
+
+def test_connect_exhaustion_raises_and_counts_failures(hub):
+    port = _free_unbound_port()
+    with pytest.raises(ChannelError, match="cannot connect"):
+        connect_with_retry("127.0.0.1", port, attempts=2, delay=0.01)
+    assert hub.counter("wire.connect.attempts") == 2
+    assert hub.counter("wire.connect.failures") == 1
+    assert hub.counter("wire.connect.success") == 0
+
+
+def test_connect_retry_after_late_listener(hub):
+    """The server comes up between attempts: success after >=1 retry."""
+    import threading
+    import time
+
+    port = _free_unbound_port()
+    listener = socket.socket()
+
+    def bind_late():
+        time.sleep(0.1)
+        listener.bind(("127.0.0.1", port))
+        listener.listen(1)
+
+    t = threading.Thread(target=bind_late)
+    t.start()
+    try:
+        sock = connect_with_retry("127.0.0.1", port, attempts=12, delay=0.05)
+        sock.close()
+    finally:
+        t.join()
+        listener.close()
+    assert hub.counter("wire.connect.success") == 1
+    assert hub.counter("wire.connect.retried") == 1
+    assert hub.counter("wire.connect.attempts") >= 2

@@ -66,6 +66,54 @@ def test_ping_roundtrip():
         server.stop()
 
 
+def test_metrics_command_scrapes_live_server(capsys):
+    from repro.distributed.server import ComputeServer
+    from repro.telemetry.core import TELEMETRY
+
+    TELEMETRY.reset().enable()
+    server = ComputeServer(name="cli-metrics").start()
+    try:
+        assert run_cli("ping", f"127.0.0.1:{server.port}") == 0
+        assert run_cli("metrics", f"127.0.0.1:{server.port}") == 0
+    finally:
+        server.stop()
+        TELEMETRY.disable().reset()
+    out = capsys.readouterr().out
+    assert "# TYPE repro_wire_frames_received counter" in out
+    assert 'repro_wire_frames_received{tag="' in out
+
+
+def test_metrics_command_raw_output(capsys):
+    from repro.distributed.server import ComputeServer
+    from repro.telemetry.core import TELEMETRY
+
+    TELEMETRY.reset().enable()
+    server = ComputeServer(name="cli-metrics-raw").start()
+    try:
+        assert run_cli("metrics", f"127.0.0.1:{server.port}", "--raw") == 0
+    finally:
+        server.stop()
+        TELEMETRY.disable().reset()
+    assert "wire.frames_received" in capsys.readouterr().out
+
+
+def test_experiment_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.telemetry.core import TELEMETRY
+
+    path = tmp_path / "trace.json"
+    try:
+        assert run_cli("experiment", "table1", "--trace-out", str(path)) == 0
+    finally:
+        TELEMETRY.disable().reset()
+    assert "trace written to" in capsys.readouterr().err
+    doc = json.loads(path.read_text())
+    phases = [item["ph"] for item in doc["traceEvents"]]
+    assert phases.count("B") == phases.count("E") >= 1
+    assert not TELEMETRY.enabled  # --trace-out must not leave the hub on
+
+
 @pytest.mark.slow
 def test_module_invocation_subprocess():
     result = subprocess.run([sys.executable, "-m", "repro.cli", "version"],
