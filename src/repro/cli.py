@@ -11,6 +11,7 @@ server          start a compute server (wraps repro.distributed.server)
 registry        start a name registry (wraps repro.distributed.registry)
 ping            ping a server (host:port or registry name)
 metrics         scrape a server's telemetry counters (Prometheus text)
+top             live refreshing view of per-server cluster state
 experiment      regenerate table1 / table2 / fig19 / fig20 on the simulator
 example         run one of the bundled examples by name
 check           build a figure network and run the consistency checker
@@ -66,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--raw", action="store_true",
                            help="print the raw counter dict instead of "
                                 "Prometheus text")
+
+    p_top = sub.add_parser(
+        "top", help="live per-server view of a running cluster")
+    p_top.add_argument("targets", nargs="+", metavar="HOST:PORT",
+                       help="one or more compute servers to watch")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds (default 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (no screen clear)")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (0 = until Ctrl-C)")
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -158,11 +170,63 @@ def _cmd_metrics(args) -> int:
         for key in sorted(reply["counters"]):
             print(f"{key} = {reply['counters'][key]:g}")
     else:
-        print(prometheus_text(reply["counters"]), end="")
+        print(prometheus_text(reply["counters"],
+                              histograms=reply.get("histograms")), end="")
     if not reply.get("telemetry_enabled"):
         print("# note: telemetry is DISABLED on the server "
               "(start it with --telemetry or REPRO_TELEMETRY=1)",
               file=sys.stderr)
+    return 0
+
+
+def _top_row(name: str, client) -> dict:
+    """Collect one server's ``repro top`` row; tolerate partial failures."""
+    row: dict = {"name": name, "stats": None, "snapshot": None,
+                 "counters": None}
+    try:
+        row["stats"] = client.stats()
+        row["snapshot"] = client.wait_snapshot()
+        if row["stats"].get("telemetry_enabled"):
+            row["counters"] = client.metrics().get("counters")
+    except Exception as exc:  # noqa: BLE001 - a dead server is a row, not a crash
+        row["error"] = f"{type(exc).__name__}: {exc}"
+    return row
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.distributed.server import ServerClient
+    from repro.telemetry.distributed import render_top
+
+    clients = []
+    for target in args.targets:
+        host, _, port = target.partition(":")
+        clients.append((target, ServerClient(host, int(port))))
+    iteration = 0
+    try:
+        while True:
+            rows = [_top_row(name, client) for name, client in clients]
+            screen = render_top(rows)
+            unreachable = [r["name"] for r in rows if r.get("error")]
+            if args.once:
+                print(screen)
+            else:
+                # ANSI clear + home, then the refreshed screen
+                print(f"\x1b[2J\x1b[Hrepro top — {len(rows)} server(s), "
+                      f"refresh {args.interval:g}s (Ctrl-C quits)\n")
+                print(screen)
+            for name in unreachable:
+                print(f"  {name}: UNREACHABLE", file=sys.stderr)
+            iteration += 1
+            if args.once or (args.iterations and iteration >= args.iterations):
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for _, client in clients:
+            client.close()
     return 0
 
 
@@ -270,6 +334,7 @@ _HANDLERS = {
     "registry": _cmd_registry,
     "ping": _cmd_ping,
     "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "experiment": _cmd_experiment,
     "example": _cmd_example,
     "check": _cmd_check,

@@ -42,12 +42,17 @@ class LocalCluster:
     """
 
     def __init__(self, n_servers: int = 2, mode: str = "thread",
-                 name_prefix: str = "server") -> None:
+                 name_prefix: str = "server", telemetry: bool = False) -> None:
         if mode not in ("thread", "process"):
             raise ValueError("mode must be 'thread' or 'process'")
         self.mode = mode
         self.n_servers = n_servers
         self.name_prefix = name_prefix
+        #: start process-mode servers with their telemetry hubs enabled
+        #: (thread-mode servers share this interpreter's hub — enable it
+        #: directly).  Required for :meth:`merged_trace` to see remote
+        #: events.
+        self.telemetry = telemetry
         self.registry_server: Optional[RegistryServer] = None
         self.registry: Optional[RegistryClient] = None
         self._servers: List[ComputeServer] = []
@@ -73,11 +78,13 @@ class LocalCluster:
         return self
 
     def _spawn_process_server(self, name: str) -> None:
+        argv = [sys.executable, "-m", "repro.distributed.server",
+                "--name", name, "--port", "0",
+                "--registry", f"127.0.0.1:{self.registry_server.port}"]
+        if self.telemetry:
+            argv.append("--telemetry")
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.distributed.server",
-             "--name", name, "--port", "0",
-             "--registry", f"127.0.0.1:{self.registry_server.port}"],
-            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+            argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
         self._procs.append(proc)
         # the server announces "SERVER <name> LISTENING <port>" on stdout
         line = proc.stdout.readline()
@@ -142,6 +149,50 @@ class LocalCluster:
             # all thread-mode servers read the same hub: don't double-count
             per_server = dict(list(per_server.items())[:1])
         return merge_counters(m["counters"] for m in per_server.values())
+
+    # -- cluster-causal tracing ---------------------------------------------
+    def clock_offsets(self, probes: int = 5) -> Dict[str, "OffsetEstimate"]:
+        """Per-server hub-clock offsets onto this interpreter's timeline."""
+        return {name: c.clock_offset(probes=probes)
+                for name, c in zip(self.names, self.clients)}
+
+    def merged_trace(self, path: Optional[str] = None,
+                     probes: int = 5) -> dict:
+        """One causally-linked, time-aligned trace for the whole cluster.
+
+        Fetches every server's event buffer (the ``trace`` op), estimates
+        each server's clock offset over the ping op, and renders one
+        Chrome trace document with one process lane per node — the local
+        client first, at offset zero.  Nodes sharing this interpreter's
+        hub (thread-mode servers) are deduplicated by pid, so the client
+        lane already carries their events.  ``path`` writes the JSON
+        there too.
+        """
+        import json
+        import os
+
+        from repro.telemetry.core import TELEMETRY
+        from repro.telemetry.distributed import (event_to_dict,
+                                                 merge_node_traces)
+
+        nodes = [{"name": f"client:{TELEMETRY.node}",
+                  "offset": 0.0,
+                  "events": [event_to_dict(e) for e in TELEMETRY.events()]}]
+        seen_pids = {os.getpid()}
+        for name, client in zip(self.names, self.clients):
+            estimate = client.clock_offset(probes=probes)
+            reply = client.trace()
+            if reply.get("pid") in seen_pids:
+                continue  # shares a hub with an already-collected lane
+            seen_pids.add(reply.get("pid"))
+            nodes.append({"name": reply.get("node") or name,
+                          "offset": estimate.offset,
+                          "events": reply.get("events", [])})
+        doc = merge_node_traces(nodes)
+        if path:
+            with open(path, "w") as fh:
+                json.dump(doc, fh)
+        return doc
 
 
 def run_partitioned(local_part: Optional[Process],

@@ -30,8 +30,10 @@ Standalone (real parallelism across OS processes)::
 from __future__ import annotations
 
 import argparse
+import os
 import socket
 import threading
+import time
 import traceback
 from typing import Any, Callable, List, Optional
 
@@ -44,6 +46,9 @@ from repro.distributed.registry import RegistryClient
 from repro.distributed.wire import (advertised_host, connect_with_retry,
                                     open_listener, recv_obj, send_obj)
 from repro.telemetry.core import TELEMETRY as _telemetry
+from repro.telemetry.clock import ProbeSample, estimate_offset
+from repro.telemetry.distributed import (TraceContext, activate,
+                                         current_context, event_to_dict)
 
 __all__ = ["ComputeServer", "ServerClient", "Runnable"]
 
@@ -88,6 +93,7 @@ class ComputeServer:
         #: count of run/call requests served (stats)
         self.tasks_run = 0
         self.processes_hosted = 0
+        self.started_at = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ComputeServer":
@@ -134,10 +140,32 @@ class ComputeServer:
                     return
 
     def _dispatch(self, request: dict) -> dict:
+        if not _telemetry.enabled:
+            return self._dispatch_inner(request)
+        # The connection thread adopted the sender's trace context when
+        # recv_obj unwrapped the envelope: the execute span continues the
+        # dispatching trace, and the flow-end event draws the arrow from
+        # the client's send span into this lane.
+        ctx = current_context()
+        _telemetry.begin("rpc.execute", category="dist.rpc",
+                         op=request.get("op"), server=self.name,
+                         trace=ctx.trace_id if ctx else None)
+        if ctx is not None:
+            _telemetry.flow("f", "rpc", category="dist.rpc",
+                            flow_id=ctx.flow_id)
+        try:
+            return self._dispatch_inner(request)
+        finally:
+            _telemetry.end("rpc.execute", category="dist.rpc")
+
+    def _dispatch_inner(self, request: dict) -> dict:
         op = request.get("op")
         try:
             if op == "ping":
-                return {"ok": True, "name": self.name}
+                # hub_now is the clock-alignment epoch exchange: clients
+                # time this round trip to estimate our clock offset.
+                return {"ok": True, "name": self.name,
+                        "hub_now": _telemetry.now()}
             if op == "run":
                 target = loads_migration(request["payload"], network=self.network)
                 self._run_async(target)
@@ -162,6 +190,8 @@ class ComputeServer:
                         "processes_hosted": self.processes_hosted,
                         "live_threads": len(self.network.live_threads()),
                         "channels": len(self.network.channels),
+                        "uptime_seconds": time.monotonic() - self.started_at,
+                        "telemetry_enabled": _telemetry.enabled,
                         "failures": failures}
             if op == "metrics":
                 # Telemetry counterpart of wait_snapshot: one server's
@@ -171,11 +201,23 @@ class ComputeServer:
                 return {"ok": True, "name": self.name,
                         "telemetry_enabled": _telemetry.enabled,
                         "counters": _telemetry.counters(),
+                        "histograms": _telemetry.histogram_snapshots(),
                         "events_emitted": _telemetry.events_emitted,
                         "tasks_run": self.tasks_run,
                         "processes_hosted": self.processes_hosted,
                         "live_threads": len(self.network.live_threads()),
                         "channels": len(self.network.channels)}
+            if op == "trace":
+                # One node's share of the cluster trace: the event ring on
+                # this hub's clock, plus identity (pid dedupes thread-mode
+                # servers that share one interpreter hub) and hub_now so
+                # the collector can sanity-check its offset estimate.
+                return {"ok": True, "name": self.name,
+                        "node": _telemetry.node, "pid": os.getpid(),
+                        "hub_now": _telemetry.now(),
+                        "telemetry_enabled": _telemetry.enabled,
+                        "events": [event_to_dict(e)
+                                   for e in _telemetry.events()]}
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True).start()
                 return {"ok": True}
@@ -189,7 +231,21 @@ class ComputeServer:
         if isinstance(target, Process):
             self.network.spawn(target)
         elif callable(getattr(target, "run", None)):
-            threading.Thread(target=target.run, name=f"{self.name}-runnable",
+            # the dispatching trace follows the runnable into its thread
+            ctx = current_context()
+
+            def _run() -> None:
+                with activate(ctx):
+                    if _telemetry.enabled:
+                        with _telemetry.span(
+                                "task.run", category="dist.rpc",
+                                server=self.name,
+                                trace=ctx.trace_id if ctx else None):
+                            target.run()
+                    else:
+                        target.run()
+
+            threading.Thread(target=_run, name=f"{self.name}-runnable",
                              daemon=True).start()
         else:
             raise TypeError(f"cannot run {type(target).__name__}: no run()")
@@ -209,13 +265,35 @@ class ServerClient:
         host, port = registry.lookup(name)
         return cls(host, port)
 
-    def _request(self, payload: dict) -> dict:
+    def _roundtrip(self, payload: dict) -> dict:
         with self._lock:
             if self._sock is None:
                 self._sock = connect_with_retry(self.host, self.port)
             send_obj(self._sock, payload,
                      pickler_factory=_shipping_pickler_factory)
-            reply = recv_obj(self._sock)
+            return recv_obj(self._sock)
+
+    def _request(self, payload: dict) -> dict:
+        if _telemetry.enabled:
+            # Continue the caller's trace (or root a new one), bracket the
+            # round trip in a send span, and open a flow: the server's
+            # execute span ends it, so the merged trace draws an arrow
+            # from this lane into the server's.
+            parent = current_context()
+            ctx = parent.child() if parent is not None else TraceContext.new_root()
+            with activate(ctx):
+                _telemetry.begin("rpc.send", category="dist.rpc",
+                                 op=payload.get("op"),
+                                 server=f"{self.host}:{self.port}",
+                                 trace=ctx.trace_id)
+                _telemetry.flow("s", "rpc", category="dist.rpc",
+                                flow_id=ctx.flow_id)
+                try:
+                    reply = self._roundtrip(payload)
+                finally:
+                    _telemetry.end("rpc.send", category="dist.rpc")
+        else:
+            reply = self._roundtrip(payload)
         if not reply.get("ok"):
             raise RemoteError(reply.get("error", "remote failure"),
                               reply.get("traceback", ""))
@@ -249,6 +327,27 @@ class ServerClient:
         """The server's telemetry snapshot (counters + hub status)."""
         return self._request({"op": "metrics"})
 
+    def trace(self) -> dict:
+        """The server's event buffer on its own hub clock (``trace`` op)."""
+        return self._request({"op": "trace"})
+
+    def clock_probe(self) -> ProbeSample:
+        """One NTP-style probe: time a ping, note the server's hub clock."""
+        sent = _telemetry.now()
+        reply = self._request({"op": "ping"})
+        received = _telemetry.now()
+        return ProbeSample(sent=sent, remote=reply.get("hub_now", 0.0),
+                           received=received)
+
+    def clock_offset(self, probes: int = 5):
+        """Estimate this server's hub-clock offset from ours.
+
+        Returns an :class:`~repro.telemetry.clock.OffsetEstimate`; adding
+        its ``offset`` to the server's event timestamps lands them on the
+        local hub's timeline (the merged-trace alignment step).
+        """
+        return estimate_offset(self.clock_probe() for _ in range(probes))
+
     def shutdown(self) -> None:
         try:
             self._request({"op": "shutdown"})
@@ -278,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
     args = parser.parse_args(argv)
     if args.telemetry:
         _telemetry.enable()
+    # one server per process in standalone mode: name its trace lane
+    _telemetry.node = args.name
     if args.advertise:
         from repro.distributed.wire import set_advertised_host
 

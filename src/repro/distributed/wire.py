@@ -22,6 +22,8 @@ from typing import Any, Optional, Tuple
 
 from repro.errors import ChannelError
 from repro.telemetry.core import TELEMETRY as _telemetry
+from repro.telemetry.distributed import (TraceContext, current_context,
+                                         set_current_context)
 
 __all__ = [
     "Tag", "send_frame", "recv_frame", "send_obj", "recv_obj",
@@ -61,8 +63,9 @@ def read_exact(sock: socket.socket, n: int) -> bytes:
     while remaining > 0:
         chunk = sock.recv(min(remaining, 1 << 20))
         if not chunk:
-            raise FrameError(f"connection closed mid-frame ({remaining} of {n} "
-                             "bytes missing)")
+            raise FrameError(
+                f"connection closed mid-frame: got {n - remaining} of "
+                f"{n} expected bytes ({remaining} missing)")
         parts.append(chunk)
         remaining -= len(chunk)
     return b"".join(parts)
@@ -92,12 +95,26 @@ def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
     return tag, payload
 
 
+#: envelope key carrying the trace context alongside an OBJ payload
+_CTX_KEY = "__repro_trace_ctx__"
+
+
 def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
     """Send a pickled object as an OBJ frame.
 
     ``pickler_factory(file) -> Pickler`` lets callers substitute the
     migration or source-shipping picklers.
+
+    When telemetry is enabled and the sending thread has an active
+    :class:`~repro.telemetry.distributed.TraceContext`, the object is
+    wrapped in a context-header envelope so the receiver continues the
+    same trace — this is what links a dispatch span on one node to the
+    execute span on another in merged cluster traces.
     """
+    if _telemetry.enabled:
+        ctx = current_context()
+        if ctx is not None:
+            obj = {_CTX_KEY: ctx.to_wire(), "payload": obj}
     if pickler_factory is None:
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     else:
@@ -121,10 +138,18 @@ def recv_obj(sock: socket.socket, unpickler_factory=None) -> Any:
         _telemetry.inc("wire.pickles_in")
         _telemetry.inc("wire.pickle_bytes_in", len(payload))
     if unpickler_factory is None:
-        return pickle.loads(payload)
-    import io
+        obj = pickle.loads(payload)
+    else:
+        import io
 
-    return unpickler_factory(io.BytesIO(payload)).load()
+        obj = unpickler_factory(io.BytesIO(payload)).load()
+    if type(obj) is dict and _CTX_KEY in obj:
+        # Context header: adopt the sender's trace on this thread (sticky
+        # until the next envelope), then unwrap.  Unwrapping happens even
+        # with telemetry off so a disabled receiver still interoperates.
+        set_current_context(TraceContext.from_wire(obj[_CTX_KEY]))
+        obj = obj["payload"]
+    return obj
 
 
 # ---------------------------------------------------------------------------

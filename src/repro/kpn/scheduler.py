@@ -27,6 +27,7 @@ race where a thread is about to be woken.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TYPE_CHECKING
 
@@ -74,6 +75,13 @@ class DeadlockPolicy:
     settle_ms:
         Stability window: the stall must persist, with no accounting
         churn, for this long before the monitor acts.
+    stall_watchdog_s:
+        When set, the monitor snapshots the wait-graph (who is blocked on
+        which channel, with buffer fill levels) once per stall after no
+        progress has been observed for this many seconds — turning a
+        silent hang into an inspectable artifact.  The snapshot lands in
+        :attr:`DeadlockMonitor.stall_snapshots` and, with telemetry on,
+        as a ``stall.wait_graph`` instant.  None disables the watchdog.
     """
 
     grow: bool = True
@@ -81,6 +89,7 @@ class DeadlockPolicy:
     max_capacity: int = 64 * 1024 * 1024
     on_true: str = "raise"
     settle_ms: float = 20.0
+    stall_watchdog_s: Optional[float] = None
 
 
 class DeadlockMonitor:
@@ -97,11 +106,18 @@ class DeadlockMonitor:
         self.policy = policy or DeadlockPolicy()
         self.on_event = on_event
         self.growth_events: List[GrowthEvent] = []
+        #: wait-graph snapshots the stall watchdog captured (newest last)
+        self.stall_snapshots: List[dict] = []
         self.error: Optional[Exception] = None
         self._cond = threading.Condition()
         self._kicked = False
         self._stop = False
         self._thread: Optional[threading.Thread] = None
+        # stall-watchdog state: the generation we have been observing, when
+        # we first saw it, and whether this stall was already snapshotted
+        self._stall_gen: Optional[int] = None
+        self._stall_since: float = 0.0
+        self._stall_reported = False
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -126,15 +142,16 @@ class DeadlockMonitor:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._kicked and not self._stop:
+                if not self._kicked and not self._stop:
                     # periodic re-check regardless of kicks: covers the
-                    # (unlikely) loss of a wakeup and lets us observe
-                    # settle-window expiry.
+                    # (unlikely) loss of a wakeup and lets the stall
+                    # watchdog observe windows expiring without churn.
                     self._cond.wait(timeout=0.05)
                 if self._stop:
                     return
                 self._kicked = False
             try:
+                self._watchdog()
                 self._examine()
             except Exception as exc:  # pragma: no cover - defensive
                 self.error = exc
@@ -151,14 +168,54 @@ class DeadlockMonitor:
             return blocked
         return None
 
+    def _watchdog(self) -> None:
+        """Snapshot the wait-graph once per stall (no progress for the
+        configured window).  Runs on every monitor wakeup, so stalls are
+        noticed within ~50 ms of the window expiring even without kicks."""
+        window = self.policy.stall_watchdog_s
+        if window is None:
+            return
+        acct = self.network.accounting
+        generation = acct.generation
+        now = time.monotonic()
+        if self._stalled() is None or generation != self._stall_gen:
+            # progress (or a different stall): restart the window
+            self._stall_gen = generation
+            self._stall_since = now
+            self._stall_reported = False
+            return
+        if self._stall_reported or now - self._stall_since < window:
+            return
+        snapshot = self.network.wait_snapshot()
+        snapshot["stalled_for"] = now - self._stall_since
+        self.stall_snapshots.append(snapshot)
+        self._stall_reported = True
+        if _telemetry.enabled:
+            _telemetry.instant(
+                "stall.wait_graph", category="kpn.scheduler",
+                network=self.network.name,
+                blocked=[f"{b['thread']}:{b['mode']}:{b['channel']}"
+                         f"({b['buffered']}/{b['capacity']})"
+                         for b in snapshot["blocked"]],
+                stalled_for=snapshot["stalled_for"])
+            _telemetry.inc("kpn.scheduler.stall_snapshots")
+
     def _examine(self) -> None:
         acct = self.network.accounting
         first = self._stalled()
         if first is None:
             return
         gen = acct.generation
-        # stability window: wait, then confirm nothing moved
-        threading.Event().wait(self.policy.settle_ms / 1000.0)
+        # stability window: wait, then confirm nothing moved.  The wait is
+        # sliced so the stall watchdog can fire *during* the window — a
+        # long settle must not hide the stall it is confirming.
+        deadline = time.monotonic() + self.policy.settle_ms / 1000.0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or self._stop:
+                break
+            threading.Event().wait(min(remaining, 0.01))
+            self._watchdog()
         if acct.generation != gen:
             return
         blocked = self._stalled()

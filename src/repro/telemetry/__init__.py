@@ -3,7 +3,11 @@
 * :mod:`repro.telemetry.core` — the process-wide event bus, counter
   registry, and latency histograms behind the :data:`TELEMETRY` hub;
 * :mod:`repro.telemetry.export` — Chrome trace-event JSON (Perfetto),
-  Prometheus text exposition, and cluster-wide merged reports.
+  Prometheus text exposition, and cluster-wide merged reports;
+* :mod:`repro.telemetry.clock` — NTP-style clock-offset estimation that
+  maps every server's hub clock onto one cluster timeline;
+* :mod:`repro.telemetry.distributed` — trace-context propagation across
+  the wire, merged multi-node traces, and the ``repro top`` renderer.
 
 Quickstart::
 
@@ -21,9 +25,16 @@ from repro.telemetry.core import (Event, HistogramData, TELEMETRY,
 from repro.telemetry.export import (chrome_trace, cluster_report,
                                     merge_counters, prometheus_text,
                                     write_chrome_trace)
+from repro.telemetry.clock import OffsetEstimate, ProbeSample, estimate_offset
+from repro.telemetry.distributed import (TraceContext, current_context,
+                                         event_to_dict, merge_node_traces,
+                                         render_top, write_merged_trace)
 
 __all__ = [
     "Event", "HistogramData", "TELEMETRY", "TelemetryHub", "render_key",
     "chrome_trace", "cluster_report", "merge_counters", "prometheus_text",
     "write_chrome_trace",
+    "OffsetEstimate", "ProbeSample", "estimate_offset",
+    "TraceContext", "current_context", "event_to_dict", "merge_node_traces",
+    "render_top", "write_merged_trace",
 ]

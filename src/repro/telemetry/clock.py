@@ -1,0 +1,104 @@
+"""Clock alignment across compute servers (NTP-style RTT midpoint).
+
+Every :class:`~repro.telemetry.core.TelemetryHub` timestamps events on a
+*local* monotonic clock whose epoch is the hub's creation (or last
+``reset``).  Two servers therefore produce traces on two unrelated
+timelines: to merge them into the single cluster trace the paper's
+"whole-cluster application" view needs, we estimate, per node, the
+offset that maps its hub clock onto the observer's.
+
+The estimator is the classic NTP/Cristian midpoint: the observer reads
+its own clock just before (``sent``) and just after (``received``) a
+round trip that returns the remote hub's clock (``remote``, sampled
+server-side while handling the existing ``ping`` op).  Assuming the
+request and reply legs are symmetric, the remote sample corresponds to
+the midpoint of the round trip, so
+
+    offset = (sent + received) / 2 - remote
+
+is the amount to **add** to remote-clock timestamps to land them on the
+observer's timeline.  The error is bounded by half the round-trip time
+(the worst case is a fully asymmetric path), so among repeated probes we
+keep the minimum-RTT sample — the one with the tightest bound — and
+report the spread across samples as a stability diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["ProbeSample", "OffsetEstimate", "estimate_offset"]
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One round trip: local clock before/after, remote clock in between.
+
+    Attributes
+    ----------
+    sent:
+        Observer's hub time immediately before the request left.
+    remote:
+        The remote hub's time, sampled while it handled the request.
+    received:
+        Observer's hub time immediately after the reply arrived.
+    """
+
+    sent: float
+    remote: float
+    received: float
+
+    def __post_init__(self) -> None:
+        if self.received < self.sent:
+            raise ValueError(
+                f"probe received ({self.received}) before sent ({self.sent})")
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip time on the observer's clock."""
+        return self.received - self.sent
+
+    @property
+    def offset(self) -> float:
+        """Add this to remote-hub timestamps to get observer-hub time."""
+        return (self.sent + self.received) / 2.0 - self.remote
+
+
+@dataclass(frozen=True)
+class OffsetEstimate:
+    """Best offset over a probe series, with its error bound.
+
+    Attributes
+    ----------
+    offset:
+        The minimum-RTT sample's offset (seconds to add to remote times).
+    rtt:
+        That sample's round-trip time; the offset error is <= ``rtt / 2``.
+    n:
+        Number of probes the estimate was taken over.
+    spread:
+        max - min offset across all samples — how (un)stable the probe
+        series was; large spread means a noisy path or a drifting clock.
+    """
+
+    offset: float
+    rtt: float
+    n: int
+    spread: float
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case offset error under fully asymmetric legs."""
+        return self.rtt / 2.0
+
+
+def estimate_offset(samples: Iterable[ProbeSample]) -> OffsetEstimate:
+    """Combine probe samples into one offset estimate (min-RTT filter)."""
+    pool: List[ProbeSample] = list(samples)
+    if not pool:
+        raise ValueError("estimate_offset needs at least one probe sample")
+    best = min(pool, key=lambda s: s.rtt)
+    offsets: Sequence[float] = [s.offset for s in pool]
+    return OffsetEstimate(offset=best.offset, rtt=best.rtt, n=len(pool),
+                          spread=max(offsets) - min(offsets))

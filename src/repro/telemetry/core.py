@@ -43,7 +43,8 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Mapping, Optional,
+                    Tuple)
 
 __all__ = ["Event", "HistogramData", "TelemetryHub", "TELEMETRY", "render_key"]
 
@@ -60,7 +61,7 @@ class Event:
                  tid: int, thread_name: str,
                  args: Optional[Dict[str, Any]]) -> None:
         self.ts = ts
-        self.phase = phase          # "B" | "E" | "i"
+        self.phase = phase          # "B" | "E" | "i" | flow "s"/"t"/"f"
         self.name = name
         self.category = category
         self.tid = tid
@@ -110,10 +111,54 @@ class HistogramData:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the log2 buckets.
+
+        Linear interpolation inside the containing bucket, clamped to the
+        observed min/max so the estimate never leaves the data's range.
+        Coarse (bucket bounds are powers of two) but monotone in ``q``
+        and exact at q=0/q=1 — enough for p50/p95/p99 exposition.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            cumulative += n
+            if cumulative >= rank and n:
+                lo = 0.0 if i == 0 else self._BOUNDS[i - 1]
+                hi = self._BOUNDS[i] if i < len(self._BOUNDS) else self.max
+                frac = (rank - (cumulative - n)) / n
+                est = lo + frac * (hi - lo)
+                return min(max(est, self.min), self.max)
+        return self.max
+
     def as_dict(self) -> Dict[str, float]:
         return {"count": self.count, "sum": self.total,
                 "min": self.min if self.count else 0.0, "max": self.max,
                 "mean": self.mean()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable full state (incl. buckets) for the ``metrics`` op."""
+        return {"count": self.count, "sum": self.total,
+                "min": self.min if self.count else 0.0, "max": self.max,
+                "buckets": list(self.buckets)}
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "HistogramData":
+        """Rebuild from :meth:`snapshot` output (exporter-side)."""
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("sum", 0.0))
+        hist.min = float(data.get("min", 0.0)) if hist.count else float("inf")
+        hist.max = float(data.get("max", 0.0))
+        buckets = list(data.get("buckets", ()))
+        hist.buckets = (buckets + [0] * cls.N_BUCKETS)[:cls.N_BUCKETS]
+        return hist
 
 
 def _labels_key(labels: Dict[str, Any]) -> LabelItems:
@@ -149,6 +194,9 @@ class TelemetryHub:
     def __init__(self, max_events: int = 200_000) -> None:
         #: the one flag hot paths read.  Plain attribute on purpose.
         self.enabled = False
+        #: lane name this hub's events appear under in merged cluster
+        #: traces; compute servers overwrite it with their server name.
+        self.node = f"pid-{os.getpid()}"
         self._lock = threading.Lock()
         self._events: deque[Event] = deque(maxlen=max_events)
         self._counters: Dict[Tuple[str, LabelItems], float] = {}
@@ -232,6 +280,19 @@ class TelemetryHub:
         """A point event (``i`` phase)."""
         self._emit("i", name, category, args)
 
+    def flow(self, phase: str, name: str, category: str = "repro",
+             flow_id: int = 0, **args: Any) -> None:
+        """A Chrome flow event: ``s`` start, ``t`` step, ``f`` end.
+
+        Flow events with the same ``flow_id`` are drawn as arrows between
+        the slices enclosing them — across threads, and (in merged
+        cluster traces) across node lanes.  Emit them *inside* an open
+        span on the same thread.
+        """
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, not {phase!r}")
+        self._emit(phase, name, category, dict(args, flow_id=flow_id))
+
     @contextmanager
     def span(self, name: str, category: str = "repro", **args: Any) -> Iterator[None]:
         self.begin(name, category, **args)
@@ -305,6 +366,13 @@ class TelemetryHub:
         """Rendered-key snapshot of histogram objects (local use only)."""
         with self._lock:
             return {render_key(n, l): h for (n, l), h in self._hists.items()}
+
+    def histogram_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Picklable histogram state incl. buckets (the ``metrics`` op's
+        quantile-capable counterpart of :meth:`counters`)."""
+        with self._lock:
+            return {render_key(n, l): h.snapshot()
+                    for (n, l), h in self._hists.items()}
 
 
 #: the process-wide hub every instrumentation site uses

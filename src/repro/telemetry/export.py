@@ -22,7 +22,7 @@ import os
 import re
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from repro.telemetry.core import TELEMETRY, Event, parse_key
+from repro.telemetry.core import TELEMETRY, Event, HistogramData, parse_key
 
 __all__ = ["chrome_trace", "write_chrome_trace", "prometheus_text",
            "merge_counters", "cluster_report"]
@@ -57,10 +57,18 @@ def chrome_trace(events: Optional[Iterable[Event]] = None,
         item: dict = {"name": e.name, "cat": e.category or "repro",
                       "ph": e.phase, "ts": e.ts * 1e6, "pid": pid,
                       "tid": e.tid}
+        args = dict(e.args) if e.args else {}
         if e.phase == "i":
             item["s"] = "t"  # instant scoped to its thread
-        if e.args:
-            item["args"] = {k: v for k, v in e.args.items()}
+        elif e.phase in ("s", "t", "f"):
+            # flow events: the id pairs a start on one thread/node with
+            # the end on another; "bp": "e" binds the end to its
+            # enclosing slice (the rpc.execute span).
+            item["id"] = args.pop("flow_id", 0)
+            if e.phase == "f":
+                item["bp"] = "e"
+        if args:
+            item["args"] = args
         trace.append(item)
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
 
@@ -87,19 +95,50 @@ def _prom_name(name: str, prefix: str) -> str:
     return f"{prefix}_{flat}" if prefix else flat
 
 
+#: quantiles exposed per histogram in the Prometheus summary blocks
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _as_histogram(data) -> HistogramData:
+    if isinstance(data, HistogramData):
+        return data
+    return HistogramData.from_snapshot(data)
+
+
 def prometheus_text(counters: Optional[Mapping[str, float]] = None,
-                    prefix: str = "repro") -> str:
-    """Render a counter snapshot in the Prometheus text format.
+                    prefix: str = "repro",
+                    histograms: Optional[Mapping[str, object]] = None) -> str:
+    """Render counter + histogram snapshots in the Prometheus text format.
 
     ``counters`` is a flat ``{rendered_key: value}`` snapshot (the shape
     :meth:`TelemetryHub.counters` and the ``metrics`` RPC op produce);
-    defaults to the global hub's counters.
+    defaults to the global hub's counters.  ``histograms`` maps rendered
+    keys to :class:`HistogramData` objects or their picklable
+    :meth:`~HistogramData.snapshot` dicts (what the ``metrics`` op ships)
+    and defaults to the global hub's histograms when ``counters`` is
+    defaulted too; each becomes a ``summary`` block with p50/p95/p99
+    quantile lines plus ``_sum`` and ``_count``.
     """
     if counters is None:
         counters = TELEMETRY.counters()
+        if histograms is None:
+            histograms = TELEMETRY.histograms()
+    hists: Dict[str, tuple] = {}
+    hist_names: set = set()
+    for key, data in (histograms or {}).items():
+        name, labels = parse_key(key)
+        hist_names.add(name)
+        hists.setdefault(name, ())
+        hists[name] = hists[name] + ((labels, _as_histogram(data)),)
+    #: counters() folds histograms in as name.count/.sum/.max — drop those
+    #: flat keys when the full histogram is being rendered as a summary.
+    folded = {f"{n}.{suffix}" for n in hist_names
+              for suffix in ("count", "sum", "max")}
     by_name: Dict[str, List[tuple]] = {}
     for key, value in counters.items():
         name, labels = parse_key(key)
+        if name in folded:
+            continue
         by_name.setdefault(name, []).append((labels, value))
     lines: List[str] = []
     for name in sorted(by_name):
@@ -111,6 +150,18 @@ def prometheus_text(counters: Optional[Mapping[str, float]] = None,
                 lines.append(f"{prom}{{{inner}}} {value:g}")
             else:
                 lines.append(f"{prom} {value:g}")
+    for name in sorted(hists):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} summary")
+        for labels, hist in sorted(hists[name], key=lambda p: p[0]):
+            for q in SUMMARY_QUANTILES:
+                q_labels = labels + (("quantile", f"{q:g}"),)
+                inner = ",".join(f'{k}="{v}"' for k, v in q_labels)
+                lines.append(f"{prom}{{{inner}}} {hist.quantile(q):g}")
+            suffix_inner = ",".join(f'{k}="{v}"' for k, v in labels)
+            braces = f"{{{suffix_inner}}}" if labels else ""
+            lines.append(f"{prom}_sum{braces} {hist.total:g}")
+            lines.append(f"{prom}_count{braces} {hist.count:g}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

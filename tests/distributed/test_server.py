@@ -95,6 +95,8 @@ def test_stats(server_client):
     stats = client.stats()
     assert stats["name"] == "test-server"
     assert stats["tasks_run"] >= 1
+    assert stats["uptime_seconds"] >= 0.0
+    assert isinstance(stats["telemetry_enabled"], bool)
 
 
 def test_registry_integration():

@@ -1,0 +1,78 @@
+"""The stall watchdog: wait-graph snapshots for no-progress windows."""
+
+import time
+
+from repro.kpn import Network
+from repro.kpn.scheduler import DeadlockPolicy
+from repro.processes.networks import modulo_merge
+from repro.telemetry.core import TELEMETRY
+
+
+def test_watchdog_snapshots_induced_artificial_deadlock():
+    """Figure 13 with tiny channels stalls on a full buffer; with the
+    resolution delayed past the watchdog window, the stall becomes an
+    inspectable wait-graph snapshot *before* Parks growth resumes it."""
+    policy = DeadlockPolicy(growth_factor=2, settle_ms=600,
+                            stall_watchdog_s=0.05)
+    net = Network(policy=policy)
+    built = modulo_merge(200, divisor=10, network=net, channel_capacity=16)
+    assert built.run(timeout=60) == list(range(1, 201))
+    snapshots = net.monitor.stall_snapshots
+    assert snapshots, "stall watchdog never fired"
+    snap = snapshots[0]
+    assert snap["stalled_for"] >= 0.05
+    assert snap["blocked"], "wait-graph must name the blocked parties"
+    modes = {b["mode"] for b in snap["blocked"]}
+    assert "write" in modes         # the artificial-deadlock signature
+    for entry in snap["blocked"]:
+        assert {"thread", "mode", "channel", "capacity",
+                "buffered"} <= set(entry)
+    # the stall eventually resolved by growth, as usual
+    assert net.growth_events()
+
+
+def test_watchdog_emits_telemetry_instant():
+    policy = DeadlockPolicy(growth_factor=2, settle_ms=600,
+                            stall_watchdog_s=0.05)
+    TELEMETRY.reset().enable()
+    try:
+        net = Network(policy=policy)
+        built = modulo_merge(100, divisor=10, network=net,
+                             channel_capacity=16)
+        built.run(timeout=60)
+        events = [e for e in TELEMETRY.events()
+                  if e.name == "stall.wait_graph"]
+        assert events
+        assert events[0].args["blocked"]
+        assert TELEMETRY.counter("kpn.scheduler.stall_snapshots") >= 1
+    finally:
+        TELEMETRY.disable().reset()
+
+
+def test_watchdog_snapshots_once_per_stall():
+    """One stall -> one snapshot, even though the monitor keeps polling
+    while the (deliberately slow) settle window delays resolution."""
+    policy = DeadlockPolicy(growth_factor=4, settle_ms=400,
+                            stall_watchdog_s=0.02)
+    net = Network(policy=policy)
+    built = modulo_merge(120, divisor=10, network=net, channel_capacity=16)
+    built.run(timeout=60)
+    snapshots = net.monitor.stall_snapshots
+    assert snapshots
+    # never more snapshots than distinct stalls (growths + final verdicts)
+    assert len(snapshots) <= len(net.growth_events()) + 1
+
+
+def test_watchdog_disabled_by_default_and_quiet_when_progressing():
+    net = Network()     # default policy: stall_watchdog_s=None
+    built = modulo_merge(50, divisor=5, network=net, channel_capacity=1 << 16)
+    built.run(timeout=60)
+    assert net.monitor.stall_snapshots == []
+
+    fast = Network(policy=DeadlockPolicy(stall_watchdog_s=5.0))
+    built = modulo_merge(50, divisor=5, network=fast,
+                         channel_capacity=1 << 16)
+    start = time.monotonic()
+    built.run(timeout=60)
+    assert time.monotonic() - start < 5.0
+    assert fast.monitor.stall_snapshots == []

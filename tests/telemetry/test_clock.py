@@ -1,0 +1,97 @@
+"""Clock-offset estimation: the RTT-midpoint math under skew and noise."""
+
+import pytest
+
+from repro.telemetry.clock import OffsetEstimate, ProbeSample, estimate_offset
+
+
+def probe(true_offset: float, sent: float, out_leg: float, back_leg: float
+          ) -> ProbeSample:
+    """Simulate one probe against a remote clock = local clock - offset.
+
+    The remote samples its clock when the request arrives (after
+    ``out_leg`` seconds of network); the reply takes ``back_leg`` more.
+    """
+    remote_at_arrival = (sent + out_leg) - true_offset
+    return ProbeSample(sent=sent, remote=remote_at_arrival,
+                       received=sent + out_leg + back_leg)
+
+
+# ---------------------------------------------------------------------------
+# single-sample math
+# ---------------------------------------------------------------------------
+
+def test_zero_rtt_recovers_offset_exactly():
+    sample = probe(true_offset=3.5, sent=10.0, out_leg=0.0, back_leg=0.0)
+    assert sample.rtt == 0.0
+    assert sample.offset == pytest.approx(3.5)
+
+
+def test_symmetric_rtt_recovers_offset_exactly():
+    sample = probe(true_offset=-2.0, sent=5.0, out_leg=0.01, back_leg=0.01)
+    assert sample.rtt == pytest.approx(0.02)
+    assert sample.offset == pytest.approx(-2.0)
+
+
+def test_asymmetric_rtt_error_bounded_by_half_rtt():
+    """A fully one-sided path is the worst case: |error| <= rtt / 2."""
+    for out_leg, back_leg in [(0.1, 0.0), (0.0, 0.1), (0.08, 0.02)]:
+        sample = probe(true_offset=1.0, sent=0.0,
+                       out_leg=out_leg, back_leg=back_leg)
+        assert abs(sample.offset - 1.0) <= sample.rtt / 2 + 1e-12
+
+
+def test_negative_skew_remote_clock_ahead():
+    """Remote hub booted earlier -> its clock reads larger -> negative
+    offset (subtract to land remote events on our timeline)."""
+    sample = probe(true_offset=-7.25, sent=1.0, out_leg=0.001, back_leg=0.001)
+    assert sample.offset == pytest.approx(-7.25)
+    remote_event_ts = 9.0   # on the remote clock
+    assert remote_event_ts + sample.offset == pytest.approx(1.75)
+
+
+def test_probe_rejects_time_running_backwards():
+    with pytest.raises(ValueError, match="before sent"):
+        ProbeSample(sent=2.0, remote=1.0, received=1.0)
+
+
+# ---------------------------------------------------------------------------
+# combining a probe series
+# ---------------------------------------------------------------------------
+
+def test_estimate_picks_minimum_rtt_sample():
+    noisy = probe(true_offset=4.0, sent=0.0, out_leg=0.5, back_leg=0.0)
+    clean = probe(true_offset=4.0, sent=1.0, out_leg=0.001, back_leg=0.001)
+    est = estimate_offset([noisy, clean])
+    assert isinstance(est, OffsetEstimate)
+    assert est.offset == pytest.approx(clean.offset)
+    assert est.rtt == pytest.approx(clean.rtt)
+    assert est.n == 2
+    assert est.error_bound == pytest.approx(clean.rtt / 2)
+
+
+def test_estimate_offset_stability_across_repeated_probes():
+    """Jittered asymmetric probes: every estimate stays within the
+    half-RTT bound of truth, and the spread reports the sample scatter."""
+    true_offset = 12.0
+    legs = [(0.004, 0.006), (0.010, 0.002), (0.003, 0.003),
+            (0.001, 0.009), (0.005, 0.005)]
+    samples = [probe(true_offset, sent=float(i), out_leg=o, back_leg=b)
+               for i, (o, b) in enumerate(legs)]
+    est = estimate_offset(samples)
+    assert abs(est.offset - true_offset) <= est.rtt / 2 + 1e-12
+    # the min-RTT filter chose the tightest bound available
+    assert est.rtt == pytest.approx(min(s.rtt for s in samples))
+    assert est.spread == pytest.approx(
+        max(s.offset for s in samples) - min(s.offset for s in samples))
+    # repeated estimation over fresh jitter stays near truth
+    for shift in (0.0, 0.3, 0.9):
+        again = estimate_offset(
+            probe(true_offset, sent=shift + i, out_leg=o, back_leg=b)
+            for i, (o, b) in enumerate(legs))
+        assert abs(again.offset - est.offset) <= 0.01
+
+
+def test_estimate_offset_requires_samples():
+    with pytest.raises(ValueError, match="at least one"):
+        estimate_offset([])

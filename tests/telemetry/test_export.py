@@ -2,7 +2,9 @@
 
 import json
 
-from repro.telemetry.core import TelemetryHub
+import pytest
+
+from repro.telemetry.core import HistogramData, TelemetryHub
 from repro.telemetry.export import (chrome_trace, cluster_report,
                                     merge_counters, prometheus_text,
                                     write_chrome_trace)
@@ -82,6 +84,63 @@ def test_prometheus_text_format():
 
 def test_prometheus_text_empty_snapshot():
     assert prometheus_text({}) == ""
+
+
+# ---------------------------------------------------------------------------
+# quantiles and summary blocks
+# ---------------------------------------------------------------------------
+
+def test_histogram_quantiles_bracket_the_distribution():
+    hist = HistogramData()
+    for ms in range(1, 101):            # 1..100 ms, uniform
+        hist.observe(ms / 1000.0)
+    p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+    assert p50 <= p95 <= p99
+    # log2 buckets are coarse: allow a bucket's worth of slack, but the
+    # estimates must stay inside the observed range and roughly ordered
+    assert 0.001 <= p50 <= 0.1
+    assert p50 == pytest.approx(0.05, rel=1.0)
+    assert p99 == pytest.approx(0.099, rel=1.0)
+    assert hist.quantile(0.0) == pytest.approx(0.001)
+    assert hist.quantile(1.0) == pytest.approx(0.1)
+
+
+def test_histogram_quantile_of_empty_is_zero():
+    assert HistogramData().quantile(0.5) == 0.0
+
+
+def test_histogram_snapshot_roundtrip_preserves_quantiles():
+    hist = HistogramData()
+    for v in (0.002, 0.004, 0.008, 0.016, 0.2):
+        hist.observe(v)
+    clone = HistogramData.from_snapshot(hist.snapshot())
+    for q in (0.5, 0.95, 0.99):
+        assert clone.quantile(q) == hist.quantile(q)
+    assert clone.count == hist.count and clone.total == hist.total
+
+
+def test_prometheus_text_renders_summary_with_quantiles():
+    hist = HistogramData()
+    for v in (0.001, 0.002, 0.004, 0.008):
+        hist.observe(v)
+    text = prometheus_text({"rpc.latency.count": 4},
+                           histograms={"rpc.latency{op=call}": hist.snapshot()})
+    lines = text.splitlines()
+    assert "# TYPE repro_rpc_latency summary" in lines
+    for q in ("0.5", "0.95", "0.99"):
+        assert any(l.startswith(f'repro_rpc_latency{{op="call",quantile="{q}"}} ')
+                   for l in lines), f"missing quantile {q}"
+    assert 'repro_rpc_latency_sum{op="call"} 0.015' in lines
+    assert 'repro_rpc_latency_count{op="call"} 4' in lines
+    # the folded flat counter for the same histogram is suppressed
+    assert not any("rpc_latency_count 4" == l for l in lines)
+
+
+def test_prometheus_text_defaults_include_hub_histograms(hub):
+    hub.observe("kpn.step", 0.003, stage="map")
+    text = prometheus_text()
+    assert "# TYPE repro_kpn_step summary" in text
+    assert 'quantile="0.99"' in text
 
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,9 @@ def test_metrics_op_reports_live_wire_counters(hub, server_client):
     assert sent > 0 and received > 0
     assert sum(v for k, v in counters.items()
                if k.startswith("wire.pickle_bytes_out")) > 0
-    assert reply["events_emitted"] == hub.events_emitted
+    # the reply is a snapshot taken mid-RPC: the rpc.send/rpc.execute end
+    # spans land after it, so the hub total can only be >= the reading
+    assert 0 < reply["events_emitted"] <= hub.events_emitted
     assert isinstance(reply["tasks_run"], int) and reply["tasks_run"] >= 1
 
 

@@ -1,0 +1,82 @@
+"""`repro top`: the render function and the CLI against a live server."""
+
+from repro.cli import main as cli_main
+from repro.distributed.server import ComputeServer
+from repro.telemetry.distributed import render_top
+
+
+def test_render_top_columns_and_blocked_details():
+    rows = [{
+        "name": "alpha",
+        "stats": {"uptime_seconds": 125.0, "tasks_run": 7,
+                  "processes_hosted": 2, "live_threads": 3, "channels": 4,
+                  "telemetry_enabled": True, "failures": []},
+        "snapshot": {"blocked": [
+            {"thread": "Worker-1", "mode": "read", "channel": "tasks",
+             "capacity": 1024, "buffered": 0},
+            {"thread": "Worker-2", "mode": "write", "channel": "results",
+             "capacity": 1024, "buffered": 1024},
+        ]},
+        "counters": {"parallel.tasks_processed{worker=Worker-1}": 30,
+                     "parallel.tasks_processed{worker=Worker-2}": 10},
+    }]
+    screen = render_top(rows)
+    header = screen.splitlines()[0]
+    for column in ("SERVER", "UP", "TASKS", "BLK-R", "BLK-W", "TELEM"):
+        assert column in header
+    assert "alpha" in screen
+    assert "2m05s" in screen                      # formatted uptime
+    assert "Worker-1 blocked-read on tasks (0/1024B)" in screen
+    assert "Worker-2 blocked-write on results (1024/1024B)" in screen
+    # load shares: 30/40 and 10/40
+    assert "75.0%" in screen and "25.0%" in screen
+
+
+def test_render_top_tolerates_missing_replies():
+    screen = render_top([{"name": "dead", "stats": None, "snapshot": None,
+                          "counters": None}])
+    assert "dead" in screen
+    assert "?" in screen            # unknown fields render as placeholders
+
+
+def test_render_top_surfaces_remote_failures():
+    rows = [{"name": "beta",
+             "stats": {"uptime_seconds": 1, "tasks_run": 0,
+                       "processes_hosted": 1, "live_threads": 0,
+                       "channels": 0, "telemetry_enabled": False,
+                       "failures": [{"process": "Sieve-3",
+                                     "error": "ValueError('boom')"}]},
+             "snapshot": {"blocked": []}, "counters": {}}]
+    screen = render_top(rows)
+    assert "FAILED Sieve-3" in screen and "boom" in screen
+
+
+def test_cli_top_once_against_live_server(capsys):
+    server = ComputeServer(name="top-server").start()
+    try:
+        rc = cli_main(["top", f"127.0.0.1:{server.port}", "--once"])
+    finally:
+        server.stop()
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SERVER" in out and "top-server" not in out  # column header...
+    assert f"127.0.0.1:{server.port}" in out            # ...rows keyed by target
+
+
+def test_cli_top_iterations_refresh(capsys):
+    server = ComputeServer(name="top-loop").start()
+    try:
+        rc = cli_main(["top", f"127.0.0.1:{server.port}",
+                       "--interval", "0.01", "--iterations", "2"])
+    finally:
+        server.stop()
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("repro top —") == 2      # two refreshes, cleared screen
+
+
+def test_cli_top_marks_unreachable_servers(capsys):
+    rc = cli_main(["top", "127.0.0.1:1", "--once"])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "UNREACHABLE" in err

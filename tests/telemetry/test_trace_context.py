@@ -1,0 +1,144 @@
+"""Trace-context propagation: envelopes on the wire, flow-linked spans."""
+
+import os
+import pickle
+import threading
+import time
+
+from repro.distributed.server import ComputeServer, ServerClient
+from repro.parallel import CallableTask
+from repro.telemetry.distributed import (TraceContext, activate,
+                                         current_context,
+                                         set_current_context)
+from repro.telemetry.export import chrome_trace
+
+
+# ---------------------------------------------------------------------------
+# TraceContext itself
+# ---------------------------------------------------------------------------
+
+def test_context_roundtrips_wire_form_and_pickle():
+    ctx = TraceContext.new_root()
+    assert TraceContext.from_wire(ctx.to_wire()) == ctx
+    assert pickle.loads(pickle.dumps(ctx.to_wire())) == ctx.to_wire()
+
+
+def test_child_keeps_trace_id_changes_span_id():
+    root = TraceContext.new_root()
+    child = root.child()
+    assert child.trace_id == root.trace_id
+    assert child.span_id != root.span_id
+    assert child.flow_id != root.flow_id
+
+
+def test_flow_id_is_a_nonnegative_int():
+    ctx = TraceContext.new_root()
+    assert isinstance(ctx.flow_id, int)
+    assert 0 <= ctx.flow_id < 2 ** 63
+
+
+def test_activation_is_per_thread_and_restores():
+    outer = TraceContext.new_root()
+    seen = {}
+    set_current_context(outer)
+    try:
+        with activate(outer.child()) as inner:
+            assert current_context() is inner
+
+            def worker():
+                seen["in_thread"] = current_context()
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert current_context() is outer
+        assert seen["in_thread"] is None  # contexts do not leak across threads
+    finally:
+        set_current_context(None)
+
+
+# ---------------------------------------------------------------------------
+# propagation across the RPC wire (thread-mode: client + server share a hub)
+# ---------------------------------------------------------------------------
+
+def test_rpc_call_produces_flow_linked_send_execute_spans(hub):
+    server = ComputeServer(name="ctx-server").start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        assert client.call(CallableTask(pow, 2, 5)) == 32
+    finally:
+        client.close()
+        server.stop()
+    events = hub.events()
+    sends = [e for e in events if e.name == "rpc.send" and e.phase == "B"]
+    executes = [e for e in events if e.name == "rpc.execute" and e.phase == "B"]
+    assert sends and executes
+    # every send span roots or continues a trace, recorded in its args
+    call_send = next(e for e in sends if e.args.get("op") == "call")
+    call_exec = next(e for e in executes if e.args.get("op") == "call")
+    assert call_send.args["trace"] == call_exec.args["trace"]
+    # the flow start (client side) and flow end (server side) share an id
+    starts = {e.args["flow_id"] for e in events if e.phase == "s"}
+    ends = {e.args["flow_id"] for e in events if e.phase == "f"}
+    assert starts and starts == ends
+
+
+class TouchFile:
+    """Module-level so the source-shipping pickler can serialise it."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def run(self):
+        with open(self.path, "w") as fh:
+            fh.write("ran")
+
+
+def test_run_op_continues_trace_into_task_thread(hub, tmp_path):
+    server = ComputeServer(name="runnable-server").start()
+    client = ServerClient("127.0.0.1", server.port)
+    marker = str(tmp_path / "touched")
+    try:
+        client.run(TouchFile(marker))
+        deadline = time.monotonic() + 10
+        while not os.path.exists(marker):
+            assert time.monotonic() < deadline, "task never ran"
+            time.sleep(0.01)
+    finally:
+        client.close()
+        server.stop()
+    events = hub.events()
+    send = next(e for e in events
+                if e.name == "rpc.send" and e.phase == "B"
+                and e.args.get("op") == "run")
+    task = next(e for e in events if e.name == "task.run" and e.phase == "B")
+    assert task.args["trace"] == send.args["trace"]
+
+
+def test_disabled_telemetry_sends_no_envelope_and_still_works():
+    server = ComputeServer(name="plain-server").start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        assert client.ping() == "plain-server"
+        assert client.call(CallableTask(pow, 2, 3)) == 8
+    finally:
+        client.close()
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# flow events in the Chrome export
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_renders_flow_events_with_ids(hub):
+    ctx = TraceContext.new_root()
+    with hub.span("send-side"):
+        hub.flow("s", "rpc", flow_id=ctx.flow_id)
+    with hub.span("exec-side"):
+        hub.flow("f", "rpc", flow_id=ctx.flow_id)
+    doc = chrome_trace(hub.events())
+    start = next(i for i in doc["traceEvents"] if i["ph"] == "s")
+    end = next(i for i in doc["traceEvents"] if i["ph"] == "f")
+    assert start["id"] == end["id"] == ctx.flow_id
+    assert end["bp"] == "e"  # binds to the enclosing slice
+    assert "flow_id" not in start.get("args", {})
