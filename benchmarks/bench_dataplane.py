@@ -1,0 +1,277 @@
+"""Data-plane throughput benchmark: the Producer→Worker→Consumer byte path.
+
+Measures messages/s and MB/s for the three traffic shapes the paper's
+evaluation exercises (sections 5–6), over both transports:
+
+* **local** — producer and consumer share one in-memory channel buffer;
+* **socket** — producer and consumer are linked by a SenderPump /
+  ReceiverPump TCP pair, the configuration every distributed run uses.
+
+plus an **rpc_large** scenario timing ``send_obj``/``recv_obj`` round
+trips with a large numpy payload (the compute-server Task path).
+
+Results land in ``BENCH_dataplane.json`` at the repo root so the perf
+trajectory survives across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --record-baseline
+    ... optimize ...
+    PYTHONPATH=src python benchmarks/bench_dataplane.py
+
+``--record-baseline`` writes the numbers under ``"baseline"`` (done once,
+before an optimization lands); a plain run writes ``"current"`` and prints
+the speedups.  ``--quick`` shrinks message counts for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import socket
+import struct
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.kpn.buffers import BoundedByteBuffer  # noqa: E402
+from repro.kpn.objects import ObjectInputStream, ObjectOutputStream  # noqa: E402
+from repro.kpn.streams import (BlockingInputStream, LocalInputStream,  # noqa: E402
+                               LocalOutputStream)
+from repro.distributed.sockets import ReceiverPump, SenderPump  # noqa: E402
+from repro.distributed.wire import recv_obj, send_obj  # noqa: E402
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_dataplane.json")
+
+#: channel capacity per traffic shape: a few messages' worth, so the pump
+#: (not the bound) is the bottleneck — the configuration a tuned deployment
+#: (or the paper's demand-grown bounds, section 3.5) converges to.  Small
+#: messages keep a deliberately tight bound to exercise backpressure.
+CAPACITIES = {
+    "small": 64 * 1024,
+    "large": 4 * 1024 * 1024,
+    "mixed": 1024 * 1024,
+}
+
+SMALL_OBJ = ("task", 12345, 3.14159, b"x" * 64)
+LARGE_BYTES = 1 << 20  # 1 MiB payloads for the large-object stream
+
+
+def _payloads(kind: str, n: int):
+    """The message sequence for a traffic shape."""
+    if kind == "small":
+        return [SMALL_OBJ] * n
+    if kind == "large":
+        blob = b"L" * LARGE_BYTES
+        return [blob] * n
+    if kind == "mixed":
+        blob = b"M" * (LARGE_BYTES // 4)
+        return [blob if i % 8 == 0 else SMALL_OBJ for i in range(n)]
+    raise ValueError(kind)
+
+
+def _approx_bytes(msgs) -> int:
+    return sum(len(pickle.dumps(m, protocol=pickle.HIGHEST_PROTOCOL))
+               for m in msgs)
+
+
+#: buffered object-stream batch size (0 on code without buffered mode)
+STREAM_BUFFER = 32 * 1024
+
+
+def _object_streams(src: BoundedByteBuffer, dst: BoundedByteBuffer):
+    """Object endpoints, using the buffered stream mode when available."""
+    try:
+        out = ObjectOutputStream(LocalOutputStream(src),
+                                 buffer_bytes=STREAM_BUFFER)
+        inp = ObjectInputStream(BlockingInputStream(LocalInputStream(dst)),
+                                buffer_bytes=STREAM_BUFFER)
+    except TypeError:  # pre-buffered-mode data plane (baseline runs)
+        out = ObjectOutputStream(LocalOutputStream(src))
+        inp = ObjectInputStream(BlockingInputStream(LocalInputStream(dst)))
+    return out, inp
+
+
+def _run_stream(msgs, src: BoundedByteBuffer, dst: BoundedByteBuffer) -> float:
+    """Producer thread writes framed objects into ``src``; this thread
+    consumes them from ``dst``.  Returns elapsed seconds."""
+    out, inp = _object_streams(src, dst)
+
+    def produce() -> None:
+        for m in msgs:
+            out.write_object(m)
+        out.flush()
+        src.close_write()
+
+    t = threading.Thread(target=produce, daemon=True)
+    start = time.perf_counter()
+    t.start()
+    for _ in range(len(msgs)):
+        inp.read_object()
+    elapsed = time.perf_counter() - start
+    t.join(timeout=30)
+    return elapsed
+
+
+def bench_local(kind: str, n: int, repeats: int = 1) -> dict:
+    msgs = _payloads(kind, n)
+    cap = CAPACITIES[kind]
+    elapsed = min(
+        _run_stream(msgs, buf, buf)
+        for buf in (BoundedByteBuffer(cap, name=f"bench-local-{kind}")
+                    for _ in range(repeats)))
+    return _result(kind, "local", msgs, elapsed)
+
+
+def bench_socket(kind: str, n: int, repeats: int = 1) -> dict:
+    msgs = _payloads(kind, n)
+    cap = CAPACITIES[kind]
+    best = None
+    for _ in range(repeats):
+        src = BoundedByteBuffer(cap, name=f"bench-sock-{kind}-src")
+        dst = BoundedByteBuffer(cap, name=f"bench-sock-{kind}-dst")
+        sender = SenderPump(src, name=f"bench-{kind}-s")
+        host, port = sender.ensure_listener()
+        sender.start()
+        receiver = ReceiverPump(dst, connect=(host, port),
+                                name=f"bench-{kind}-r").start()
+        try:
+            elapsed = _run_stream(msgs, src, dst)
+        finally:
+            sender.close()
+            receiver.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return _result(kind, "socket", msgs, best)
+
+
+def bench_rpc_large(n: int) -> dict:
+    """send_obj/recv_obj ping-pong with a large array payload."""
+    if _np is not None:
+        payload = _np.arange(LARGE_BYTES // 8, dtype=_np.float64)
+        nbytes = payload.nbytes
+    else:
+        payload = bytearray(b"R" * LARGE_BYTES)
+        nbytes = len(payload)
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def echo() -> None:
+        conn, _ = listener.accept()
+        with conn:
+            for _ in range(n):
+                obj = recv_obj(conn)
+                send_obj(conn, {"ok": True, "result": obj["data"]})
+
+    t = threading.Thread(target=echo, daemon=True)
+    t.start()
+    client = socket.create_connection(("127.0.0.1", port))
+    client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    start = time.perf_counter()
+    for _ in range(n):
+        send_obj(client, {"op": "call", "data": payload})
+        recv_obj(client)
+    elapsed = time.perf_counter() - start
+    client.close()
+    listener.close()
+    t.join(timeout=30)
+    total = 2 * n * nbytes  # payload travels both directions
+    return {"scenario": "rpc_large", "messages": n,
+            "payload_bytes": total,
+            "elapsed_s": round(elapsed, 4),
+            "msgs_per_s": round(n / elapsed, 1),
+            "mb_per_s": round(total / elapsed / 1e6, 2)}
+
+
+def _result(kind: str, transport: str, msgs, elapsed: float) -> dict:
+    total = _approx_bytes(msgs)
+    return {"scenario": f"{transport}_{kind}", "messages": len(msgs),
+            "payload_bytes": total,
+            "elapsed_s": round(elapsed, 4),
+            "msgs_per_s": round(len(msgs) / elapsed, 1),
+            "mb_per_s": round(total / elapsed / 1e6, 2)}
+
+
+def run_all(quick: bool) -> dict:
+    scale = 40 if quick else 1
+    repeats = 1 if quick else 3  # best-of-N damps scheduler noise
+    plan = [
+        ("small", 80000 // scale),
+        ("large", 384 // scale),
+        ("mixed", 8000 // scale),
+    ]
+    results = {}
+    for kind, n in plan:
+        r = bench_local(kind, n, repeats)
+        results[r["scenario"]] = r
+        print(_fmt(r))
+        r = bench_socket(kind, n, repeats)
+        results[r["scenario"]] = r
+        print(_fmt(r))
+    r = bench_rpc_large(256 // scale)
+    results[r["scenario"]] = r
+    print(_fmt(r))
+    return results
+
+
+def _fmt(r: dict) -> str:
+    return (f"{r['scenario']:<14} {r['messages']:>7} msgs "
+            f"{r['elapsed_s']:>8.3f}s {r['msgs_per_s']:>12.1f} msg/s "
+            f"{r['mb_per_s']:>9.2f} MB/s")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="data-plane benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small message counts (CI smoke)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="store results as the pre-optimization baseline")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--merge-best", action="store_true",
+                        help="keep the per-scenario best of this run and any "
+                             "previously recorded run (damps host-level noise "
+                             "when recording baseline/current in rounds)")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    key = "baseline" if args.record_baseline else "current"
+    if args.merge_best:
+        prior = doc.get(key, {}).get("results", {})
+        for name, old in prior.items():
+            cur = results.get(name)
+            if cur is None or old["mb_per_s"] > cur["mb_per_s"]:
+                results[name] = old
+    doc[key] = {"quick": args.quick, "results": results}
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {key} results to {args.out}")
+
+    base = doc.get("baseline", {}).get("results")
+    if key == "current" and base:
+        print("\nspeedup vs baseline:")
+        for name, cur in results.items():
+            b = base.get(name)
+            if not b:
+                continue
+            print(f"  {name:<14} msgs/s x{cur['msgs_per_s'] / b['msgs_per_s']:.2f}"
+                  f"   MB/s x{cur['mb_per_s'] / b['mb_per_s']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

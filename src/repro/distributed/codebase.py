@@ -174,11 +174,12 @@ class SourceShippingPickler(MigrationPickler):
     """
 
     def __init__(self, file, process: Optional[Process] = None,
-                 protocol: int = pickle.HIGHEST_PROTOCOL) -> None:
+                 protocol: int = pickle.HIGHEST_PROTOCOL,
+                 buffer_callback=None) -> None:
         # A dummy process makes channel classification trivially "no owned
         # endpoints" when shipping plain tasks rather than processes.
         super().__init__(file, process or Process(name="no-endpoints"),
-                         protocol=protocol)
+                         protocol=protocol, buffer_callback=buffer_callback)
 
     def reducer_override(self, obj: Any):
         reduced = super().reducer_override(obj)

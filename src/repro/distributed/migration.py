@@ -102,10 +102,12 @@ def _channel_input(ch: Channel) -> ChannelInputStream:
     return ch.get_input_stream()
 
 
-def _rebuild_remote_output(host: str, port: int, capacity: int,
-                           name: str) -> ChannelOutputStream:
+def _rebuild_remote_output(host: str, port: int, capacity: int, name: str,
+                           link_chunk: Optional[int] = None,
+                           coalesce: Optional[int] = None) -> ChannelOutputStream:
     ch = _make_channel(name, capacity)
-    pump = SenderPump(ch.buffer, connect=(host, port), name=name).start()
+    pump = SenderPump(ch.buffer, connect=(host, port), name=name,
+                      chunk=link_chunk, coalesce=coalesce).start()
     ch.sender_pump = pump
     return ch.get_output_stream()
 
@@ -153,8 +155,10 @@ class MigrationPickler(pickle.Pickler):
     """
 
     def __init__(self, file, process: Process,
-                 protocol: int = pickle.HIGHEST_PROTOCOL) -> None:
-        super().__init__(file, protocol=protocol)
+                 protocol: int = pickle.HIGHEST_PROTOCOL,
+                 buffer_callback=None) -> None:
+        super().__init__(file, protocol=protocol,
+                         buffer_callback=buffer_callback)
         self._owned = owned_endpoints(process)
         self.post_actions: List[Callable[[], None]] = []
 
@@ -199,14 +203,20 @@ class MigrationPickler(pickle.Pickler):
             # directly.  Our residual bytes flush, then SWITCH.
             host, port = sender.begin_migration()
             self.post_actions.append(sender.finish_migration)
-            return (_rebuild_remote_output, (host, port, ch.capacity, ch.name))
+            return (_rebuild_remote_output,
+                    (host, port, ch.capacity, ch.name,
+                     getattr(ch, "link_chunk", None),
+                     getattr(ch, "coalesce", None)))
         # First migration of the producer end: the consumer stays here;
         # install a receiver pump feeding the consumer's existing buffer.
         pump = ReceiverPump(ch.buffer, name=ch.name)
         host, port = pump.ensure_listener()
         ch.receiver_pump = pump
         self.post_actions.append(pump.start)
-        return (_rebuild_remote_output, (host, port, ch.capacity, ch.name))
+        return (_rebuild_remote_output,
+                (host, port, ch.capacity, ch.name,
+                 getattr(ch, "link_chunk", None),
+                 getattr(ch, "coalesce", None)))
 
     def _reduce_input(self, inp: ChannelInputStream):
         if inp.detached:
@@ -229,7 +239,9 @@ class MigrationPickler(pickle.Pickler):
                     (host, port, ch.capacity, ch.name, drained))
         # First migration of the consumer end: producer stays; install a
         # sender pump draining the producer's existing buffer.
-        pump = SenderPump(ch.buffer, name=ch.name)
+        pump = SenderPump(ch.buffer, name=ch.name,
+                          chunk=getattr(ch, "link_chunk", None),
+                          coalesce=getattr(ch, "coalesce", None))
         host, port = pump.ensure_listener()
         ch.sender_pump = pump
         self.post_actions.append(pump.start)

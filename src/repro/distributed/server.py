@@ -43,8 +43,9 @@ from repro.kpn.process import Process
 from repro.distributed.codebase import SourceShippingPickler, dumps_shipped
 from repro.distributed.migration import loads_migration
 from repro.distributed.registry import RegistryClient
-from repro.distributed.wire import (advertised_host, connect_with_retry,
-                                    open_listener, recv_obj, send_obj)
+from repro.distributed.wire import (OutOfBand, advertised_host,
+                                    connect_with_retry, open_listener,
+                                    recv_obj, send_obj)
 from repro.telemetry.core import TELEMETRY as _telemetry
 from repro.telemetry.clock import ProbeSample, estimate_offset
 from repro.telemetry.distributed import (TraceContext, activate,
@@ -60,8 +61,8 @@ class Runnable:
         raise NotImplementedError
 
 
-def _shipping_pickler_factory(file):
-    return SourceShippingPickler(file)
+def _shipping_pickler_factory(file, buffer_callback=None):
+    return SourceShippingPickler(file, buffer_callback=buffer_callback)
 
 
 class ComputeServer:
@@ -158,6 +159,12 @@ class ComputeServer:
         finally:
             _telemetry.end("rpc.execute", category="dist.rpc")
 
+    @staticmethod
+    def _payload(request: dict):
+        """The request's shipped-pickle bytes (unwrapping zero-copy frames)."""
+        payload = request["payload"]
+        return payload.data if isinstance(payload, OutOfBand) else payload
+
     def _dispatch_inner(self, request: dict) -> dict:
         op = request.get("op")
         try:
@@ -167,11 +174,13 @@ class ComputeServer:
                 return {"ok": True, "name": self.name,
                         "hub_now": _telemetry.now()}
             if op == "run":
-                target = loads_migration(request["payload"], network=self.network)
+                target = loads_migration(self._payload(request),
+                                         network=self.network)
                 self._run_async(target)
                 return {"ok": True}
             if op == "call":
-                target = loads_migration(request["payload"], network=self.network)
+                target = loads_migration(self._payload(request),
+                                         network=self.network)
                 self.tasks_run += 1
                 return {"ok": True, "result": target.run()}
             if op == "wait_snapshot":
@@ -305,11 +314,13 @@ class ServerClient:
 
     def run(self, target: Any) -> None:
         """``void run(Runnable)``: ship and return immediately."""
-        self._request({"op": "run", "payload": dumps_shipped(target)})
+        self._request({"op": "run",
+                       "payload": OutOfBand(dumps_shipped(target))})
 
     def call(self, task: Any) -> Any:
         """``Object run(Task)``: ship, execute, return the result."""
-        return self._request({"op": "call", "payload": dumps_shipped(task)})["result"]
+        return self._request({"op": "call",
+                              "payload": OutOfBand(dumps_shipped(task))})["result"]
 
     def wait_snapshot(self) -> dict:
         """Per-server blocking snapshot (distributed deadlock detection)."""

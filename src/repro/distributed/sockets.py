@@ -31,6 +31,7 @@ like the paper's RedirectedInputStream + SequenceInputStream).
 
 from __future__ import annotations
 
+import os
 import pickle
 import queue
 import socket
@@ -40,14 +41,61 @@ from typing import Optional, Tuple
 from repro.errors import BrokenChannelError, ChannelError, MigrationError
 from repro.kpn.buffers import BoundedByteBuffer
 from repro.telemetry.core import TELEMETRY as _telemetry
-from repro.distributed.wire import (FrameError, Tag, advertised_host,
-                                    connect_with_retry, open_listener,
-                                    recv_frame, send_frame)
+from repro.distributed.wire import (FrameError, FrameReader, Tag,
+                                    advertised_host, connect_with_retry,
+                                    open_listener, recv_frame, send_frame,
+                                    send_frame_views)
 
-__all__ = ["SenderPump", "ReceiverPump", "LINK_CHUNK"]
+__all__ = ["SenderPump", "ReceiverPump", "LINK_CHUNK", "COALESCE_WATERMARK",
+           "LINK_SOCKBUF"]
 
-#: bytes read from the local buffer per DATA frame
-LINK_CHUNK = 64 * 1024
+
+def _env_bytes(name: str, default: int) -> int:
+    """Integer byte-count from the environment, falling back on nonsense."""
+    raw = os.environ.get(name, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+#: bytes read from the local buffer per pump read
+#: (override: env ``REPRO_LINK_CHUNK`` or the pump's ``chunk`` argument)
+LINK_CHUNK = _env_bytes("REPRO_LINK_CHUNK", 64 * 1024)
+
+#: coalescing watermark: maximum payload bytes packed into one DATA frame.
+#: The sender never *waits* for this much — it sends whatever one blocking
+#: read returned plus anything already buffered, so latency is unaffected
+#: while back-to-back small writes share one frame.  0 disables
+#: coalescing (one buffer read per frame, the pre-coalescing behaviour).
+#: Override: env ``REPRO_COALESCE_WATERMARK`` or the pump's ``coalesce``
+#: argument.
+COALESCE_WATERMARK = _env_bytes("REPRO_COALESCE_WATERMARK", 4 * LINK_CHUNK)
+
+#: cap on memoryview segments per coalesced frame (stays well under any
+#: platform's IOV_MAX for the scatter-gather sendmsg)
+_MAX_SEGMENTS = 64
+
+#: upper bound on bytes drained per DATA frame from very large channels
+#: (keeps a single frame far below the wire-level payload cap)
+_MAX_DRAIN = 8 * 1024 * 1024
+
+#: kernel send/receive buffer size requested for link sockets.  Generous
+#: in-kernel buffering lets each pump run longer bursts before blocking,
+#: which matters most when producer, pumps, and consumer share few cores.
+#: Override: env ``REPRO_LINK_SOCKBUF``; 0 keeps the system default.
+LINK_SOCKBUF = _env_bytes("REPRO_LINK_SOCKBUF", 1 << 20)
+
+
+def _tune_link_socket(sock: socket.socket) -> None:
+    """Apply the data-plane socket options to a freshly made link socket."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    if LINK_SOCKBUF:
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, LINK_SOCKBUF)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, LINK_SOCKBUF)
+        except OSError:  # pragma: no cover - platform-dependent limits
+            pass
 
 
 class _LinkBase:
@@ -76,7 +124,7 @@ class _LinkBase:
         self.listener.settimeout(timeout)
         sock, _ = self.listener.accept()
         sock.settimeout(None)  # accepted sockets must block indefinitely
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _tune_link_socket(sock)
         return sock
 
     def _send(self, tag: int, payload: bytes = b"") -> None:
@@ -147,11 +195,20 @@ class SenderPump(_LinkBase):
         ``(host, port)`` of the consumer-side listener, or None to listen
         locally and wait for the consumer to connect (the mode used when
         the *input* end migrated away and will call back).
+    chunk:
+        Bytes per buffer read (default :data:`LINK_CHUNK`).
+    coalesce:
+        Watermark in bytes up to which consecutive buffer reads are packed
+        into a single DATA frame (default :data:`COALESCE_WATERMARK`;
+        0 disables coalescing).
     """
 
     def __init__(self, buffer: BoundedByteBuffer, connect: Optional[Tuple[str, int]] = None,
-                 name: str = "") -> None:
+                 name: str = "", chunk: Optional[int] = None,
+                 coalesce: Optional[int] = None) -> None:
         super().__init__(buffer, name=name)
+        self.chunk = chunk if chunk else LINK_CHUNK
+        self.coalesce = COALESCE_WATERMARK if coalesce is None else coalesce
         self._connect_to = connect
         #: set by the migration pickler: the producer has moved away; after
         #: draining residual bytes send SWITCH instead of EOF.
@@ -171,20 +228,21 @@ class SenderPump(_LinkBase):
         try:
             if self._connect_to is not None:
                 self.sock = connect_with_retry(*self._connect_to)
+                _tune_link_socket(self.sock)
             else:
                 self.ensure_listener()
                 self.sock = self.accept()
             self._start_control()
             while True:
                 try:
-                    chunk = self.buffer.read(LINK_CHUNK)
+                    views = self._gather()
                 except ChannelError:
                     # our read side was closed (CLOSE_READ relayed): stop
                     break
-                if not chunk:
+                if views is None:
                     self._send(Tag.SWITCH if self.migrating else Tag.EOF)
                     break
-                self._send_data(chunk)
+                self._send_data(views)
         except Exception as exc:  # noqa: BLE001
             self.failure = exc
             self.buffer.close_read()  # break the local producer
@@ -192,7 +250,38 @@ class SenderPump(_LinkBase):
             if not self._expect_reaccept.is_set():
                 self.close()
 
-    def _send_data(self, chunk: bytes) -> None:
+    def _gather(self) -> Optional[list]:
+        """One blocking drain plus adaptive coalescing.
+
+        Blocks for the first view; then — without ever waiting — keeps
+        taking bytes that are *already* buffered until the watermark (or
+        the segment cap) is reached, so a burst of small producer writes
+        becomes one DATA frame instead of many.  Returns a list of
+        zero-copy views, or None at end of stream.
+        """
+        # Draining at least the ring's whole capacity means the take always
+        # covers everything buffered, so the buffer's storage-stealing path
+        # applies and the drain is zero-copy.  drain_up_to never waits for
+        # that much — the frame is whatever is buffered right now — so
+        # latency is unaffected; large-capacity channels simply ship
+        # proportionally larger frames.
+        limit = max(self.chunk, min(self.buffer.capacity, _MAX_DRAIN))
+        first = self.buffer.drain_up_to(limit)
+        if len(first) == 0:
+            return None
+        views = [first]
+        if self.coalesce:
+            total = len(first)
+            while total < self.coalesce and len(views) < _MAX_SEGMENTS:
+                more = self.buffer.read_available(
+                    min(limit, self.coalesce - total))
+                if len(more) == 0:
+                    break
+                views.append(more)
+                total += len(more)
+        return views
+
+    def _send_data(self, views: list) -> None:
         import time
 
         deadline = time.monotonic() + 120.0
@@ -208,13 +297,19 @@ class SenderPump(_LinkBase):
                 time.sleep(0.005)
                 continue
             try:
-                self._send(Tag.DATA, chunk)
+                with self._send_lock:
+                    sock = self.sock
+                    if sock is None:
+                        continue
+                    send_frame_views(sock, Tag.DATA, views)
                 if _telemetry.enabled:
                     _telemetry.inc("link.chunks_out", 1, link=self.name)
-                    _telemetry.inc("link.bytes_out", len(chunk), link=self.name)
+                    _telemetry.inc("link.bytes_out",
+                                   sum(len(v) for v in views), link=self.name)
                 return
             except OSError:
                 # Socket replaced mid-migration: retry on the new one.
+                # The views own their storage, so a full resend is safe.
                 if self._expect_reaccept.is_set() or self.sock is None:
                     continue
                 raise
@@ -299,12 +394,15 @@ class ReceiverPump(_LinkBase):
         try:
             if self._connect_to is not None:
                 self.sock = connect_with_retry(*self._connect_to)
+                _tune_link_socket(self.sock)
             else:
                 self.ensure_listener()
                 self.sock = self.accept()
+            # buffered reader: one recv can supply several DATA frames
+            reader = FrameReader(self.sock)
             while not self._detached.is_set():
                 try:
-                    tag, payload = recv_frame(self.sock)
+                    tag, payload = reader.recv_frame()
                 except (FrameError, OSError):
                     if self._detached.is_set():
                         return
@@ -318,7 +416,9 @@ class ReceiverPump(_LinkBase):
                         _telemetry.inc("link.bytes_in", len(payload),
                                        link=self.name)
                     try:
-                        self.buffer.write(payload)
+                        # recv_frame hands over a fresh bytearray; the ring
+                        # adopts it wholesale when empty (no copy).
+                        self.buffer.write_donate(payload)
                     except BrokenChannelError:
                         # Local consumer terminated: tell the producer side
                         # so its writes start failing too.
@@ -340,6 +440,7 @@ class ReceiverPump(_LinkBase):
                     new = self.accept()
                     with self._send_lock:
                         self.sock = new
+                    reader = FrameReader(new)
                 elif tag == Tag.LISTEN_REQ:
                     self._handle_listen_req()
                 elif tag == Tag.LISTEN_OK:

@@ -26,13 +26,17 @@ from repro.telemetry.distributed import (TraceContext, current_context,
                                          set_current_context)
 
 __all__ = [
-    "Tag", "send_frame", "recv_frame", "send_obj", "recv_obj",
-    "read_exact", "FrameError", "open_listener", "advertised_host",
-    "set_advertised_host", "connect_with_retry", "retry_delays",
+    "Tag", "send_frame", "send_frame_views", "recv_frame", "FrameReader",
+    "send_obj", "recv_obj", "OutOfBand", "read_exact", "FrameError", "open_listener",
+    "advertised_host", "set_advertised_host", "connect_with_retry",
+    "retry_delays",
 ]
 
 MAX_PAYLOAD = 256 * 1024 * 1024
 _HEADER = struct.Struct(">BI")
+#: OBJ_OOB preamble: number of out-of-band buffers + pickle byte length
+_OOB_HEAD = struct.Struct(">IQ")
+_OOB_LEN = struct.Struct(">Q")
 
 
 class Tag:
@@ -43,9 +47,11 @@ class Tag:
     EOF = 3          #: end of channel stream (producer stopped)
     SWITCH = 4       #: producer moved; expect a replacement connection
     LISTEN_REQ = 5   #: "my end is migrating: open/confirm a listener"
-    LISTEN_OK = 6    #: reply to LISTEN_REQ: payload = 2-byte port? (pickled int)
+    LISTEN_OK = 6    #: reply to LISTEN_REQ: payload = pickled (host, port)
+                     #: tuple of the peer's reconnect listener
     OBJ = 7          #: pickled RPC object (compute server protocol)
     CLOSE_READ = 8   #: consumer closed its end: producer should break
+    OBJ_OOB = 9      #: protocol-5 pickle + out-of-band PickleBuffer frames
 
 
 #: tag value -> name, for telemetry labels and diagnostics
@@ -56,38 +62,83 @@ class FrameError(ChannelError):
     """Malformed or oversized frame — the connection is unusable."""
 
 
+def _recv_exact_into(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly n bytes into one preallocated buffer (no chunk joins)."""
+    out = bytearray(n)
+    with memoryview(out) as view:
+        got = 0
+        while got < n:
+            r = sock.recv_into(view[got:], min(n - got, 1 << 20))
+            if r == 0:
+                raise FrameError(
+                    f"connection closed mid-frame: got {got} of "
+                    f"{n} expected bytes ({n - got} missing)")
+            got += r
+    return out
+
+
 def read_exact(sock: socket.socket, n: int) -> bytes:
     """Read exactly n bytes or raise FrameError on premature close."""
-    parts = []
-    remaining = n
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise FrameError(
-                f"connection closed mid-frame: got {n - remaining} of "
-                f"{n} expected bytes ({remaining} missing)")
-        parts.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(parts)
+    return bytes(_recv_exact_into(sock, n))
+
+
+def _sendmsg_all(sock: socket.socket, parts) -> None:
+    """Send every byte of ``parts`` with scatter-gather writes.
+
+    ``socket.sendmsg`` takes the segment list straight to ``sendmsg(2)``,
+    so a frame's header and payload (and any out-of-band pickle buffers)
+    go out without being concatenated into a fresh bytes object first.
+    Falls back to ``sendall`` where sendmsg is unavailable (non-POSIX).
+    """
+    views = [memoryview(p).cast("B") for p in parts if len(p)]
+    if not views:
+        return
+    if not hasattr(sock, "sendmsg"):
+        sock.sendall(b"".join(views))
+        return
+    while views:
+        sent = sock.sendmsg(views[:64])
+        # advance past whatever the kernel accepted (may straddle views)
+        while sent > 0:
+            head = views[0]
+            if sent >= len(head):
+                sent -= len(head)
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
 
 
 def send_frame(sock: socket.socket, tag: int, payload: bytes = b"") -> None:
-    if len(payload) > MAX_PAYLOAD:
-        raise FrameError(f"payload of {len(payload)} bytes exceeds cap")
-    sock.sendall(_HEADER.pack(tag, len(payload)) + payload)
+    send_frame_views(sock, tag, (payload,) if payload else ())
+
+
+def send_frame_views(sock: socket.socket, tag: int, views) -> None:
+    """Send one frame whose payload is the concatenation of ``views``.
+
+    The views are handed to the kernel as-is (scatter-gather), so callers
+    holding zero-copy buffer views never pay a concatenation copy; the
+    receiver sees a frame indistinguishable from a ``send_frame`` of the
+    joined payload.
+    """
+    total = sum(len(v) for v in views)
+    if total > MAX_PAYLOAD:
+        raise FrameError(f"payload of {total} bytes exceeds cap")
+    _sendmsg_all(sock, [_HEADER.pack(tag, total), *views])
     if _telemetry.enabled:
         name = TAG_NAMES.get(tag, str(tag))
         _telemetry.inc("wire.frames_sent", 1, tag=name)
-        _telemetry.inc("wire.bytes_sent", _HEADER.size + len(payload),
-                       tag=name)
+        _telemetry.inc("wire.bytes_sent", _HEADER.size + total, tag=name)
 
 
 def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Receive one frame; the payload is bytes-like (a single-allocation
+    bytearray for non-empty payloads — no per-chunk copies or joins)."""
     header = read_exact(sock, _HEADER.size)
     tag, length = _HEADER.unpack(header)
     if length > MAX_PAYLOAD:
         raise FrameError(f"incoming payload of {length} bytes exceeds cap")
-    payload = read_exact(sock, length) if length else b""
+    payload = _recv_exact_into(sock, length) if length else b""
     if _telemetry.enabled:
         name = TAG_NAMES.get(tag, str(tag))
         _telemetry.inc("wire.frames_received", 1, tag=name)
@@ -95,15 +146,160 @@ def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
     return tag, payload
 
 
+class FrameReader:
+    """Buffered frame receiver: one ``recv`` can supply several frames.
+
+    Frames whose payload is already buffered are parsed straight out of
+    the read-ahead buffer (well under one syscall per frame on busy
+    links); larger payloads are filled by ``recv_into`` directly into
+    their own exact-size bytearray, keeping the single-copy path for bulk
+    data.  Counters and error behaviour match :func:`recv_frame`.
+
+    The reader owns every byte arriving on its socket — never mix it
+    with bare :func:`recv_frame` calls on the same connection.
+    """
+
+    def __init__(self, sock: socket.socket, readahead: int = 32 * 1024) -> None:
+        self.sock = sock
+        #: fixed scratch; [_pos, _end) is the unparsed byte range.  Kept
+        #: moderate so bulk payloads rarely land here first — they take
+        #: the direct recv_into path below instead.
+        self._buf = bytearray(max(readahead, _HEADER.size))
+        self._pos = 0
+        self._end = 0
+        #: adaptive peek: after a bulk frame, the next header is received
+        #: exactly so the (likely bulk) payload behind it lands straight
+        #: in its own buffer instead of passing through the scratch.
+        self._last_bulk = False
+
+    def _fill(self, need: int, gulp: bool = True) -> None:
+        """Grow the unparsed range to at least ``need`` bytes (need is
+        tiny — a header — so at most one small compaction move)."""
+        while self._end - self._pos < need:
+            if len(self._buf) - self._end < need:
+                # tail room exhausted: slide the leftover to the front
+                self._buf[:self._end - self._pos] = self._buf[self._pos:self._end]
+                self._end -= self._pos
+                self._pos = 0
+            stop = len(self._buf) if gulp else self._pos + need
+            with memoryview(self._buf) as mv:
+                got = self.sock.recv_into(mv[self._end:stop])
+            if got == 0:
+                have = self._end - self._pos
+                raise FrameError(
+                    f"connection closed mid-frame: got {have} of "
+                    f"{need} expected bytes ({need - have} missing)")
+            self._end += got
+
+    def recv_frame(self) -> Tuple[int, bytes]:
+        """Receive one frame; same contract as module-level ``recv_frame``."""
+        self._fill(_HEADER.size, gulp=not self._last_bulk)
+        tag, length = _HEADER.unpack_from(self._buf, self._pos)
+        if length > MAX_PAYLOAD:
+            raise FrameError(f"incoming payload of {length} bytes exceeds cap")
+        self._last_bulk = length * 2 > len(self._buf)
+        self._pos += _HEADER.size
+        avail = self._end - self._pos
+        if length == 0:
+            payload = b""
+        elif length <= avail:
+            end = self._pos + length
+            with memoryview(self._buf) as mv:
+                payload = bytearray(mv[self._pos:end])
+            self._pos = end
+        else:
+            payload = bytearray(length)
+            with memoryview(payload) as dst:
+                if avail:
+                    with memoryview(self._buf) as src:
+                        dst[:avail] = src[self._pos:self._end]
+                self._pos = self._end = 0
+                filled = avail
+                while filled < length:
+                    got = self.sock.recv_into(
+                        dst[filled:], min(length - filled, 1 << 20))
+                    if got == 0:
+                        raise FrameError(
+                            f"connection closed mid-frame: got {filled} of "
+                            f"{length} expected bytes ({length - filled} missing)")
+                    filled += got
+        if _telemetry.enabled:
+            name = TAG_NAMES.get(tag, str(tag))
+            _telemetry.inc("wire.frames_received", 1, tag=name)
+            _telemetry.inc("wire.bytes_received", _HEADER.size + length, tag=name)
+        return tag, payload
+
+
 #: envelope key carrying the trace context alongside an OBJ payload
 _CTX_KEY = "__repro_trace_ctx__"
 
 
-def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
-    """Send a pickled object as an OBJ frame.
+class OutOfBand:
+    """Marks a bytes-like payload for out-of-band (zero-copy) transport.
 
-    ``pickler_factory(file) -> Pickler`` lets callers substitute the
-    migration or source-shipping picklers.
+    Wrapping a large blob — e.g. an already-pickled Task from
+    ``dumps_shipped`` — makes :func:`send_obj` ship it as a raw
+    protocol-5 ``PickleBuffer`` frame: the bytes go from the wrapper
+    straight into the socket's scatter-gather send, and arrive as a
+    zero-copy view into the single receive buffer, with no trip through
+    the outer pickle stream on either side.  Unwrap with :attr:`data`.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def __reduce_ex__(self, protocol: int):
+        if protocol >= 5:
+            return (OutOfBand, (pickle.PickleBuffer(self.data),))
+        return (OutOfBand, (bytes(self.data),))
+
+
+def _dump_oob(obj: Any, pickler_factory=None) -> Tuple[bytes, list]:
+    """Pickle with protocol-5 out-of-band buffer collection.
+
+    Returns ``(pickle_bytes, buffers)`` where ``buffers`` holds the raw
+    contiguous views (``PickleBuffer.raw()``) that the pickle stream
+    references by position instead of by value.  Non-contiguous buffers
+    stay in-band; a ``pickler_factory`` that does not understand
+    ``buffer_callback`` simply produces a fully in-band pickle.
+    """
+    buffers: list = []
+
+    def _collect(pb: pickle.PickleBuffer):
+        try:
+            buffers.append(pb.raw())
+        except BufferError:        # non-contiguous: keep it in the stream
+            return True
+        return None                # falsy -> serialize out-of-band
+
+    if pickler_factory is None:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL,
+                            buffer_callback=_collect), buffers
+
+    import io
+
+    buf = io.BytesIO()
+    try:
+        pickler = pickler_factory(buf, buffer_callback=_collect)
+    except TypeError:              # factory predates buffer_callback
+        pickler = pickler_factory(buf)
+    pickler.dump(obj)
+    return buf.getvalue(), buffers
+
+
+def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
+    """Send a pickled object as an OBJ or OBJ_OOB frame.
+
+    ``pickler_factory(file, buffer_callback=...) -> Pickler`` lets callers
+    substitute the migration or source-shipping picklers.
+
+    Objects whose reduction yields protocol-5 ``PickleBuffer``s (numpy
+    arrays, :class:`OutOfBand` wrappers) travel as an ``OBJ_OOB`` frame:
+    the pickle stream references the buffers by position and the raw bytes
+    ride behind it in the same frame, delivered scatter-gather — the large
+    payload is never copied into the pickle stream or a concatenation.
 
     When telemetry is enabled and the sending thread has an active
     :class:`~repro.telemetry.distributed.TraceContext`, the object is
@@ -115,34 +311,63 @@ def send_obj(sock: socket.socket, obj: Any, pickler_factory=None) -> None:
         ctx = current_context()
         if ctx is not None:
             obj = {_CTX_KEY: ctx.to_wire(), "payload": obj}
-    if pickler_factory is None:
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    else:
-        import io
-
-        buf = io.BytesIO()
-        pickler_factory(buf).dump(obj)
-        payload = buf.getvalue()
+    payload, buffers = _dump_oob(obj, pickler_factory)
+    total = len(payload) + sum(len(b) for b in buffers)
     if _telemetry.enabled:
         _telemetry.inc("wire.pickles_out")
-        _telemetry.inc("wire.pickle_bytes_out", len(payload))
-        _telemetry.observe("wire.pickle_size", len(payload))
-    send_frame(sock, Tag.OBJ, payload)
+        _telemetry.inc("wire.pickle_bytes_out", total)
+        _telemetry.observe("wire.pickle_size", total)
+        if buffers:
+            _telemetry.inc("wire.oob_buffers_out", len(buffers))
+    if not buffers:
+        send_frame(sock, Tag.OBJ, payload)
+        return
+    head = _OOB_HEAD.pack(len(buffers), len(payload))
+    lens = b"".join(_OOB_LEN.pack(len(b)) for b in buffers)
+    send_frame_views(sock, Tag.OBJ_OOB, [head, lens, payload, *buffers])
 
 
 def recv_obj(sock: socket.socket, unpickler_factory=None) -> Any:
     tag, payload = recv_frame(sock)
-    if tag != Tag.OBJ:
+    if tag not in (Tag.OBJ, Tag.OBJ_OOB):
         raise FrameError(f"expected OBJ frame, got tag {tag}")
     if _telemetry.enabled:
         _telemetry.inc("wire.pickles_in")
         _telemetry.inc("wire.pickle_bytes_in", len(payload))
+    buffers = None
+    if tag == Tag.OBJ_OOB:
+        # One receive buffer holds pickle + raw frames; the unpickler gets
+        # zero-copy views into it, so large payloads are never re-copied.
+        nbufs, plen = _OOB_HEAD.unpack_from(payload, 0)
+        offset = _OOB_HEAD.size + nbufs * _OOB_LEN.size
+        lengths = [_OOB_LEN.unpack_from(payload, _OOB_HEAD.size + i * _OOB_LEN.size)[0]
+                   for i in range(nbufs)]
+        view = memoryview(payload)
+        pickle_bytes = view[offset:offset + plen]
+        offset += plen
+        buffers = []
+        for length in lengths:
+            buffers.append(view[offset:offset + length])
+            offset += length
+        if offset != len(payload):
+            raise FrameError(
+                f"OBJ_OOB frame length mismatch: {offset} != {len(payload)}")
+        payload = pickle_bytes
     if unpickler_factory is None:
-        obj = pickle.loads(payload)
+        obj = pickle.loads(payload, buffers=buffers)
     else:
         import io
 
-        obj = unpickler_factory(io.BytesIO(payload)).load()
+        source = io.BytesIO(payload)
+        try:
+            unpickler = unpickler_factory(source, buffers=buffers)
+        except TypeError:
+            if buffers:
+                raise FrameError(
+                    "OBJ_OOB frame but unpickler_factory does not accept "
+                    "a buffers argument")
+            unpickler = unpickler_factory(source)
+        obj = unpickler.load()
     if type(obj) is dict and _CTX_KEY in obj:
         # Context header: adopt the sender's trace on this thread (sticky
         # until the next envelope), then unwrap.  Unwrapping happens even

@@ -239,8 +239,8 @@ class BoundedByteBuffer:
     # ------------------------------------------------------------------
     # data plane
     # ------------------------------------------------------------------
-    def write(self, data: bytes) -> None:
-        """Append ``data``, blocking while the buffer lacks space.
+    def write(self, data) -> None:
+        """Append ``data`` (any bytes-like), blocking while space lacks.
 
         Writes larger than the capacity are delivered in chunks, exactly
         like Java piped streams; interleaving with other writers is then
@@ -257,31 +257,82 @@ class BoundedByteBuffer:
             return
         if _telemetry.enabled:
             _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
-        view = memoryview(data)
-        offset = 0
         with self._lock:
-            while offset < len(view):
-                if self._write_closed:
-                    raise ChannelClosedError(
-                        f"write on closed output of channel {self.name!r}")
-                if self._read_closed:
-                    raise BrokenChannelError(
-                        f"reader closed channel {self.name!r}")
-                space = self._capacity - self._buffered()
-                if space <= 0:
-                    self._block_on_full()
-                    continue
-                chunk = view[offset:offset + space]
-                self._data.extend(chunk)
-                if self.history is not None:
-                    self.history.extend(chunk)
-                offset += len(chunk)
-                self.total_written += len(chunk)
+            self._write_locked(memoryview(data).cast("B"))
+
+    def write_vectored(self, chunks) -> None:
+        """Append several bytes-like chunks under one lock acquisition.
+
+        Equivalent to ``write(chunk) for chunk in chunks`` (same chunking,
+        blocking, and close semantics — single-writer channels observe no
+        difference) but the producer pays the lock/condvar round trip once
+        per batch instead of once per chunk.  Used by the buffered object
+        stream and the receiver pump to cut per-message overhead.
+        """
+        views = [memoryview(c).cast("B") for c in chunks if len(c)]
+        if not views:
+            return
+        if _telemetry.enabled:
+            _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
+        with self._lock:
+            for view in views:
+                self._write_locked(view)
+
+    def write_donate(self, data: bytearray) -> None:
+        """Append ``data``, adopting its storage outright when possible.
+
+        Behaves exactly like :meth:`write`, but when the ring is empty and
+        ``data`` fits within capacity the bytearray itself becomes the
+        ring storage — no copy.  The caller must not touch ``data`` after
+        this call.  Used by the receiver pump, which allocates a fresh
+        buffer per received frame anyway; with a fast consumer the ring is
+        empty on nearly every delivery, so frames flow through untouched.
+        """
+        if not data:
+            return
+        if _telemetry.enabled:
+            _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
+        with self._lock:
+            if (isinstance(data, bytearray) and self._buffered() == 0
+                    and len(data) <= self._capacity
+                    and not self._write_closed and not self._read_closed
+                    and self.history is None):
+                self._data = data
+                self._read_pos = 0
+                self.total_written += len(data)
                 if _telemetry.enabled:
-                    _telemetry.inc("kpn.channel.bytes_written", len(chunk),
+                    _telemetry.inc("kpn.channel.bytes_written", len(data),
                                    channel=self.name)
                 self._not_empty.notify_all()
                 self._fire_listeners()
+                return
+            self._write_locked(memoryview(data).cast("B"))
+
+    def _write_locked(self, view: memoryview) -> None:
+        """Deliver one chunk, blocking on capacity (caller holds the lock)."""
+        offset = 0
+        while offset < len(view):
+            if self._write_closed:
+                raise ChannelClosedError(
+                    f"write on closed output of channel {self.name!r}")
+            if self._read_closed:
+                raise BrokenChannelError(
+                    f"reader closed channel {self.name!r}")
+            space = self._capacity - self._buffered()
+            if space <= 0:
+                self._block_on_full()
+                continue
+            chunk = view[offset:offset + space]
+            self._data.extend(chunk)
+            if self.history is not None:
+                self.history.extend(chunk)
+            offset += len(chunk)
+            self.total_written += len(chunk)
+            if _telemetry.enabled:
+                _telemetry.inc("kpn.channel.bytes_written", len(chunk),
+                               channel=self.name)
+            self._not_empty.notify_all()
+            self._fire_listeners()
 
     def _block_on_full(self) -> None:
         acct = self.accounting
@@ -319,20 +370,122 @@ class BoundedByteBuffer:
                     raise ChannelClosedError(
                         f"read on closed input of channel {self.name!r}")
                 if self._buffered() > 0:
-                    end = self._read_pos + max_bytes
-                    chunk = bytes(self._data[self._read_pos:end])
-                    self._read_pos += len(chunk)
+                    # steal=False means the view wraps a fresh bytes
+                    # object; .obj hands it back without another copy.
+                    return self._take_locked(max_bytes, steal=False).obj
+                if self._write_closed:
+                    return b""
+                self._block_on_empty()
+
+    def _take_locked(self, max_bytes: int, steal: bool = True) -> memoryview:
+        """Consume up to ``max_bytes`` buffered bytes (caller holds the
+        lock, buffered > 0) and return them as a memoryview.
+
+        With ``steal``, a request covering everything buffered takes the
+        internal storage itself — handed over as a view and replaced with
+        a fresh bytearray — so no bytes are copied and later writes cannot
+        mutate what the caller holds.  Callers that copy the result anyway
+        (:meth:`read`) pass ``steal=False`` to keep the storage (and its
+        already-grown allocation) in place.  Partial takes copy once.
+        """
+        buffered = self._buffered()
+        take = min(max_bytes, buffered)
+        if steal and take == buffered:
+            stolen = self._data
+            start = self._read_pos
+            self._data = bytearray()
+            self._read_pos = 0
+            view = memoryview(stolen)[start:] if start else memoryview(stolen)
+        else:
+            end = self._read_pos + take
+            with memoryview(self._data) as src:
+                view = memoryview(bytes(src[self._read_pos:end]))
+            self._read_pos = end
+            self._compact()
+        self.total_read += take
+        if _telemetry.enabled:
+            _telemetry.inc("kpn.channel.reads", 1, channel=self.name)
+            _telemetry.inc("kpn.channel.bytes_read", take, channel=self.name)
+        self._not_full.notify_all()
+        return view
+
+    def drain_up_to(self, max_bytes: int) -> memoryview:
+        """Blocking zero-copy read: like :meth:`read` but returns a
+        memoryview instead of bytes.
+
+        The returned view owns its storage (the ring's bytearray is stolen
+        or the bytes are copied out), so it stays valid across later
+        writes, reads, ``grow`` and close calls.  An *empty* view means
+        end of stream, mirroring ``read`` returning ``b""``.  This is the
+        sender pump's hot path: the view goes straight into a
+        scatter-gather ``sendmsg`` with no intermediate concatenation.
+        """
+        if max_bytes <= 0:
+            return memoryview(b"")
+        with self._lock:
+            while True:
+                if self._read_closed:
+                    raise ChannelClosedError(
+                        f"read on closed input of channel {self.name!r}")
+                if self._buffered() > 0:
+                    return self._take_locked(max_bytes)
+                if self._write_closed:
+                    return memoryview(b"")
+                self._block_on_empty()
+
+    def read_available(self, max_bytes: int) -> memoryview:
+        """Non-blocking companion of :meth:`drain_up_to`.
+
+        Returns whatever is buffered right now (up to ``max_bytes``) as a
+        zero-copy view, or an empty view when nothing is buffered — it
+        never blocks and never signals EOF.  The coalescing sender pump
+        uses it to top up a frame with bytes that are already waiting.
+        """
+        if max_bytes <= 0:
+            return memoryview(b"")
+        with self._lock:
+            if self._read_closed:
+                raise ChannelClosedError(
+                    f"read on closed input of channel {self.name!r}")
+            if self._buffered() == 0:
+                return memoryview(b"")
+            return self._take_locked(max_bytes)
+
+    def readinto(self, target) -> int:
+        """Blocking read into a caller-provided writable bytes-like.
+
+        Copies 1..len(target) bytes directly from the ring storage into
+        ``target`` and returns the count — 0 only at end of stream.  Saves
+        the intermediate bytes object a ``read()`` would allocate; exact-
+        length readers (:meth:`BlockingInputStream.read_exactly`) fill one
+        preallocated buffer instead of joining chunk lists.
+        """
+        out = memoryview(target).cast("B")
+        if len(out) == 0:
+            return 0
+        with self._lock:
+            while True:
+                if self._read_closed:
+                    raise ChannelClosedError(
+                        f"read on closed input of channel {self.name!r}")
+                buffered = self._buffered()
+                if buffered > 0:
+                    take = min(len(out), buffered)
+                    end = self._read_pos + take
+                    with memoryview(self._data) as src:
+                        out[:take] = src[self._read_pos:end]
+                    self._read_pos = end
                     self._compact()
-                    self.total_read += len(chunk)
+                    self.total_read += take
                     if _telemetry.enabled:
                         _telemetry.inc("kpn.channel.reads", 1,
                                        channel=self.name)
-                        _telemetry.inc("kpn.channel.bytes_read", len(chunk),
+                        _telemetry.inc("kpn.channel.bytes_read", take,
                                        channel=self.name)
                     self._not_full.notify_all()
-                    return chunk
+                    return take
                 if self._write_closed:
-                    return b""
+                    return 0
                 self._block_on_empty()
 
     def _block_on_empty(self) -> None:

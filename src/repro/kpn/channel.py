@@ -57,6 +57,9 @@ class ChannelOutputStream(OutputStream):
     def write(self, data: bytes) -> None:
         self.sequence.write(data)
 
+    def write_vectored(self, chunks) -> None:
+        self.sequence.write_vectored(chunks)
+
     def flush(self) -> None:
         self.sequence.flush()
 
@@ -91,6 +94,9 @@ class ChannelInputStream(InputStream):
     # -- reading ---------------------------------------------------------
     def read(self, max_bytes: int) -> bytes:
         return self.blocking.read(max_bytes)
+
+    def readinto(self, target) -> int:
+        return self.blocking.readinto(target)
 
     def read_exactly(self, n: int) -> bytes:
         return self.blocking.read_exactly(n)
@@ -143,11 +149,26 @@ class Channel:
         Blocked-thread accounting shared with the owning network's
         deadlock monitor.  Installed automatically by
         :class:`repro.kpn.network.Network`.
+    link_chunk:
+        Bytes per pump read when this channel is stretched over a socket
+        link (default: :data:`repro.distributed.sockets.LINK_CHUNK`, env
+        ``REPRO_LINK_CHUNK``).
+    coalesce:
+        Coalescing watermark for this channel's sender pump — the maximum
+        bytes packed into one DATA frame (0 disables coalescing; default:
+        :data:`repro.distributed.sockets.COALESCE_WATERMARK`, env
+        ``REPRO_COALESCE_WATERMARK``).
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, name: str = "",
-                 accounting: Optional[BlockAccounting] = None) -> None:
+                 accounting: Optional[BlockAccounting] = None,
+                 link_chunk: Optional[int] = None,
+                 coalesce: Optional[int] = None) -> None:
         self.name = name or f"channel-{next(_channel_counter)}"
+        #: per-channel socket-link tuning, consumed by the migration
+        #: machinery when it installs pumps for this channel
+        self.link_chunk = link_chunk
+        self.coalesce = coalesce
         self.buffer = BoundedByteBuffer(capacity, name=self.name,
                                         accounting=accounting)
         if _telemetry.enabled:

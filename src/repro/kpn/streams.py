@@ -51,6 +51,28 @@ class InputStream:
     def read(self, max_bytes: int) -> bytes:
         raise NotImplementedError
 
+    def readinto(self, target) -> int:
+        """Blocking read into a writable bytes-like; returns the count
+        (0 only at end of stream).  The default adapts :meth:`read`; local
+        streams override it to copy straight out of the ring storage.
+        """
+        view = memoryview(target).cast("B")
+        chunk = self.read(len(view))
+        view[:len(chunk)] = chunk
+        return len(chunk)
+
+    def read_view(self, max_bytes: int) -> memoryview:
+        """Blocking read returning an *owned* memoryview (empty at EOF).
+
+        The view's storage belongs to the caller — later stream operations
+        never mutate it.  The default wraps :meth:`read`; local streams
+        override it to hand out the channel's ring storage itself when a
+        drain takes everything buffered (zero copies).  Frame parsers
+        (:class:`~repro.kpn.objects.ObjectInputStream` in buffered mode)
+        unpickle straight out of these views.
+        """
+        return memoryview(self.read(max_bytes))
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -68,6 +90,17 @@ class OutputStream:
 
     def write(self, data: bytes) -> None:
         raise NotImplementedError
+
+    def write_vectored(self, chunks) -> None:
+        """Write several bytes-like chunks as one operation.
+
+        The default concatenates and calls :meth:`write`; sinks that can
+        do better (local pipes take their lock once for the whole batch)
+        override it.  Byte-stream semantics are identical to writing the
+        chunks one after another.
+        """
+        self.write(b"".join(bytes(c) if not isinstance(c, (bytes, bytearray))
+                            else c for c in chunks))
 
     def flush(self) -> None:
         """Push buffered bytes downstream.  Local pipes are unbuffered."""
@@ -89,6 +122,12 @@ class LocalInputStream(InputStream):
     def read(self, max_bytes: int) -> bytes:
         return self.buffer.read(max_bytes)
 
+    def readinto(self, target) -> int:
+        return self.buffer.readinto(target)
+
+    def read_view(self, max_bytes: int) -> memoryview:
+        return self.buffer.drain_up_to(max_bytes)
+
     def close(self) -> None:
         self.buffer.close_read()
 
@@ -107,6 +146,9 @@ class LocalOutputStream(OutputStream):
 
     def write(self, data: bytes) -> None:
         self.buffer.write(data)
+
+    def write_vectored(self, chunks) -> None:
+        self.buffer.write_vectored(chunks)
 
     def close(self) -> None:
         self.buffer.close_write()
@@ -134,20 +176,31 @@ class BlockingInputStream(InputStream):
     def read(self, max_bytes: int) -> bytes:
         return self.source.read(max_bytes)
 
+    def readinto(self, target) -> int:
+        return self.source.readinto(target)
+
+    def read_view(self, max_bytes: int) -> memoryview:
+        return self.source.read_view(max_bytes)
+
     def read_exactly(self, n: int) -> bytes:
-        parts: list[bytes] = []
-        remaining = n
-        while remaining > 0:
-            chunk = self.source.read(remaining)
-            if not chunk:
-                if parts:
+        if n <= 0:
+            return b""
+        # Fill one preallocated buffer via readinto: no per-chunk bytes
+        # objects and no join, however many blocking reads it takes.
+        out = bytearray(n)
+        view = memoryview(out)
+        filled = 0
+        while filled < n:
+            got = self.source.readinto(view[filled:])
+            if got == 0:
+                if filled:
                     raise EndOfStreamError(
                         f"stream ended mid-element: wanted {n} bytes, "
-                        f"got {n - remaining}")
+                        f"got {filled}")
                 raise EndOfStreamError("end of stream")
-            parts.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(parts)
+            filled += got
+        view.release()
+        return bytes(out)
 
     def close(self) -> None:
         self.source.close()
@@ -227,6 +280,50 @@ class SequenceInputStream(InputStream):
                     self._finished = True
                     return b""
 
+    def readinto(self, target) -> int:
+        # Mirrors read(): blocking happens outside the lock, stream
+        # advance under it, so splices stay possible mid-read.
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ChannelClosedError(
+                        "read on closed SequenceInputStream")
+                if not self._streams:
+                    self._finished = True
+                    return 0
+                current = self._streams[0]
+            got = current.readinto(target)
+            if got:
+                return got
+            with self._lock:
+                if self._streams and self._streams[0] is current:
+                    self._streams.pop(0)
+                if not self._streams:
+                    self._finished = True
+                    return 0
+
+    def read_view(self, max_bytes: int) -> memoryview:
+        # Same advance protocol again: a spliced-in stream takes over only
+        # after the current one reports EOF (an empty view).
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ChannelClosedError(
+                        "read on closed SequenceInputStream")
+                if not self._streams:
+                    self._finished = True
+                    return memoryview(b"")
+                current = self._streams[0]
+            view = current.read_view(max_bytes)
+            if len(view):
+                return view
+            with self._lock:
+                if self._streams and self._streams[0] is current:
+                    self._streams.pop(0)
+                if not self._streams:
+                    self._finished = True
+                    return memoryview(b"")
+
     def close(self) -> None:
         with self._lock:
             streams = list(self._streams)
@@ -289,6 +386,13 @@ class SequenceOutputStream(OutputStream):
                 raise ChannelClosedError("write on closed SequenceOutputStream")
             target = self._target
         target.write(data)
+
+    def write_vectored(self, chunks) -> None:
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("write on closed SequenceOutputStream")
+            target = self._target
+        target.write_vectored(chunks)
 
     def flush(self) -> None:
         with self._lock:

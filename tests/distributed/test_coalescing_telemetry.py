@@ -1,0 +1,84 @@
+"""Telemetry accuracy under frame coalescing.
+
+Coalescing packs many buffer reads into one DATA frame; the byte counters
+must describe the *bytes*, not the framing — totals have to come out
+identical whether coalescing is on or off, while the frame counters are
+the only thing allowed to differ."""
+
+import time
+
+import pytest
+
+from repro.kpn.buffers import BoundedByteBuffer
+from repro.telemetry.core import TELEMETRY
+from repro.distributed.sockets import ReceiverPump, SenderPump
+
+from tests.conftest import start_thread
+
+
+@pytest.fixture
+def hub():
+    TELEMETRY.reset().enable()
+    try:
+        yield TELEMETRY
+    finally:
+        TELEMETRY.disable().reset()
+
+
+def _pump_bytes(name, coalesce, payload_writes):
+    """Push ``payload_writes`` through a linked pump pair; return the
+    (bytes_out, bytes_in, chunks_out, chunks_in) counters for the link."""
+    src = BoundedByteBuffer(1 << 16, name=f"{name}-src")
+    dst = BoundedByteBuffer(1 << 16, name=f"{name}-dst")
+    sender = SenderPump(src, name=name, coalesce=coalesce)
+    host, port = sender.ensure_listener()
+    sender.start()
+    receiver = ReceiverPump(dst, connect=(host, port), name=name).start()
+    total = sum(len(p) for p in payload_writes)
+    try:
+        writer = start_thread(lambda: ([src.write(p) for p in payload_writes],
+                                       src.close_write()))
+        got = 0
+        while True:
+            chunk = dst.read(1 << 16)
+            if not chunk:
+                break
+            got += len(chunk)
+        writer.join(timeout=10)
+        assert got == total
+        # the counters are bumped by the pump threads right around the
+        # frame sends; EOF has crossed, so one short grace poll suffices
+        deadline = time.monotonic() + 5
+        while (TELEMETRY.counter("link.bytes_in", link=name) < total
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+    finally:
+        sender.close()
+        receiver.close()
+    return (TELEMETRY.counter("link.bytes_out", link=name),
+            TELEMETRY.counter("link.bytes_in", link=name),
+            TELEMETRY.counter("link.chunks_out", link=name),
+            TELEMETRY.counter("link.chunks_in", link=name))
+
+
+def test_byte_counters_identical_with_and_without_coalescing(hub):
+    writes = [b"%04d" % i * 11 for i in range(300)]  # bursty small writes
+    total = sum(len(w) for w in writes)
+
+    out0, in0, chunks_out0, chunks_in0 = _pump_bytes("no-coal", 0, writes)
+    out1, in1, chunks_out1, chunks_in1 = _pump_bytes("coal", 256 * 1024, writes)
+
+    # bytes describe the data: exact and framing-independent
+    assert out0 == in0 == total
+    assert out1 == in1 == total
+    # frames describe the transport: coalescing may only reduce them
+    assert chunks_out0 == chunks_in0
+    assert chunks_out1 == chunks_in1
+    assert chunks_out1 <= chunks_out0
+
+
+def test_frame_and_byte_counters_agree_between_ends(hub):
+    writes = [bytes([i % 256]) * 513 for i in range(100)]
+    out, inn, chunks_out, chunks_in = _pump_bytes("parity", 64 * 1024, writes)
+    assert out == inn == sum(len(w) for w in writes)
+    assert chunks_out == chunks_in

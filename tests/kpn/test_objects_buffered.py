@@ -1,0 +1,161 @@
+"""Buffered object streams: batching, the large-frame bypass, and the
+zero-copy view parse must all preserve the exact byte framing and the
+blocking/EOF semantics of the unbuffered streams."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ChannelError, EndOfStreamError
+from repro.kpn.buffers import BoundedByteBuffer
+from repro.kpn.objects import ObjectInputStream, ObjectOutputStream
+from repro.kpn.streams import (BlockingInputStream, InputStream,
+                               LocalInputStream, LocalOutputStream)
+
+from tests.conftest import start_thread
+
+
+def _pipe(capacity=1 << 16, out_buffer=256, in_buffer=256):
+    buf = BoundedByteBuffer(capacity, name="obj-buffered")
+    out = ObjectOutputStream(LocalOutputStream(buf), buffer_bytes=out_buffer)
+    inp = ObjectInputStream(BlockingInputStream(LocalInputStream(buf)),
+                            buffer_bytes=in_buffer)
+    return buf, out, inp
+
+
+def test_small_objects_roundtrip_in_order():
+    buf, out, inp = _pipe()
+    msgs = [("msg", i, b"x" * (i % 7)) for i in range(200)]
+    for m in msgs:
+        out.write_object(m)
+    out.flush()
+    assert [inp.read_object() for _ in msgs] == msgs
+
+
+def test_large_frames_bypass_the_batch():
+    buf, out, inp = _pipe(capacity=1 << 20, out_buffer=64, in_buffer=64)
+    big = b"B" * 5000  # far over both batch sizes
+    out.write_object(big)
+    out.write_object("after")
+    out.flush()
+    assert inp.read_object() == big
+    assert inp.read_object() == "after"
+
+
+def test_mixed_sizes_roundtrip():
+    buf, out, inp = _pipe(capacity=1 << 20, out_buffer=512, in_buffer=512)
+    msgs = [b"L" * 4000 if i % 5 == 0 else ("small", i) for i in range(60)]
+    writer = start_thread(lambda: ([out.write_object(m) for m in msgs],
+                                   out.flush(), buf.close_write()))
+    assert [inp.read_object() for _ in msgs] == msgs
+    writer.join(timeout=10)
+
+
+def test_pending_batch_invisible_until_flush():
+    buf, out, inp = _pipe(out_buffer=1 << 16)
+    out.write_object("held back")
+    assert buf.available() == 0  # still in the producer-side batch
+    out.flush()
+    assert inp.read_object() == "held back"
+
+
+def test_batch_flushes_itself_at_watermark():
+    buf, out, _ = _pipe(out_buffer=64)
+    while buf.available() == 0:
+        out.write_object("fill" * 4)  # batch crosses 64 bytes and flushes
+    assert buf.available() > 0
+
+
+def test_eof_after_last_object():
+    buf, out, inp = _pipe()
+    out.write_object(1)
+    out.flush()
+    buf.close_write()
+    assert inp.read_object() == 1
+    with pytest.raises(EndOfStreamError):
+        inp.read_object()
+
+
+def test_truncated_large_frame_raises_mid_element():
+    buf = BoundedByteBuffer(1 << 16)
+    payload = pickle.dumps(b"T" * 5000)
+    buf.write(len(payload).to_bytes(4, "big"))
+    buf.write(payload[:100])  # cut the frame short
+    buf.close_write()
+    inp = ObjectInputStream(BlockingInputStream(LocalInputStream(buf)),
+                            buffer_bytes=64)
+    with pytest.raises(EndOfStreamError, match="mid-element"):
+        inp.read_object()
+
+
+def test_oversized_frame_rejected():
+    from repro.kpn.objects import MAX_FRAME_BYTES
+    buf = BoundedByteBuffer(64)
+    buf.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+    inp = ObjectInputStream(BlockingInputStream(LocalInputStream(buf)),
+                            buffer_bytes=16)
+    with pytest.raises(ChannelError, match="exceeds cap"):
+        inp.read_object()
+
+
+def test_buffered_writer_emits_identical_bytes():
+    """Byte-for-byte framing equivalence: a buffered writer's channel
+    history must equal the unbuffered writer's for the same objects."""
+    msgs = [("a", i) for i in range(20)] + [b"Z" * 3000]
+
+    def framed(buffer_bytes):
+        buf = BoundedByteBuffer(1 << 20)
+        buf.record_history()
+        out = ObjectOutputStream(LocalOutputStream(buf),
+                                 buffer_bytes=buffer_bytes)
+        for m in msgs:
+            out.write_object(m)
+        out.flush()
+        return buf.history_bytes()
+
+    assert framed(0) == framed(256)
+
+
+def test_source_without_read_view_still_parses():
+    """Duck-typed sources that only implement read() take the copying
+    batch path — same results, no view machinery required."""
+    frames = bytearray()
+    msgs = ["plain", ("source", 2), b"G" * 2000]
+    for m in msgs:
+        p = pickle.dumps(m, protocol=pickle.HIGHEST_PROTOCOL)
+        frames += len(p).to_bytes(4, "big") + p
+
+    class ChunkSource(InputStream):
+        def __init__(self, data):
+            self.data = bytes(data)
+            self.pos = 0
+
+        def read(self, max_bytes):
+            take = min(max_bytes, 13, len(self.data) - self.pos)  # short reads
+            chunk = self.data[self.pos:self.pos + take]
+            self.pos += take
+            return chunk
+
+        def close(self):
+            pass
+
+    src = ChunkSource(frames)
+    src.read_view = None  # force the no-view path
+    inp = ObjectInputStream(src, buffer_bytes=64)
+    assert inp._read_view is None
+    assert [inp.read_object() for _ in msgs] == msgs
+
+
+def test_view_parse_handles_frames_straddling_views():
+    """Frames that straddle a drained view boundary (header split, payload
+    split) must reassemble exactly.  The tiny capacity forces the writer
+    to deliver frames in pieces, so drained views end mid-frame often."""
+    buf = BoundedByteBuffer(256)
+    out = ObjectOutputStream(LocalOutputStream(buf))
+    msgs = [bytes([i % 256]) * (1 + (i * 97) % 900) for i in range(80)]
+    inp = ObjectInputStream(BlockingInputStream(LocalInputStream(buf)),
+                            buffer_bytes=128)
+    writer = start_thread(lambda: ([out.write_object(m) for m in msgs],
+                                   buf.close_write()))
+    assert [inp.read_object() for _ in msgs] == msgs
+    writer.join(timeout=10)
