@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_server.add_argument("--advertise", default=None)
     p_server.add_argument("--telemetry", action="store_true",
                           help="enable the telemetry hub on this server")
+    p_server.add_argument("--executor", default=None,
+                          choices=["inline", "thread", "process"],
+                          help="compute backend for shipped tasks/workers")
+    p_server.add_argument("--pool-size", type=int, default=None,
+                          help="executor pool width (default: CPU count)")
 
     p_registry = sub.add_parser("registry", help="start a name registry")
     p_registry.add_argument("--port", type=int, default=5000)
@@ -135,6 +140,10 @@ def _cmd_server(args) -> int:
         argv += ["--advertise", args.advertise]
     if args.telemetry:
         argv += ["--telemetry"]
+    if args.executor:
+        argv += ["--executor", args.executor]
+    if args.pool_size is not None:
+        argv += ["--pool-size", str(args.pool_size)]
     server_main(argv)
     return 0
 

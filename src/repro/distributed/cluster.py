@@ -42,12 +42,18 @@ class LocalCluster:
     """
 
     def __init__(self, n_servers: int = 2, mode: str = "thread",
-                 name_prefix: str = "server", telemetry: bool = False) -> None:
+                 name_prefix: str = "server", telemetry: bool = False,
+                 executor: Optional[str] = None,
+                 pool_size: Optional[int] = None) -> None:
         if mode not in ("thread", "process"):
             raise ValueError("mode must be 'thread' or 'process'")
         self.mode = mode
         self.n_servers = n_servers
         self.name_prefix = name_prefix
+        #: compute backend every server executes shipped tasks (and hosted
+        #: workers with unset specs) on: "inline"/"thread"/"process"
+        self.executor = executor
+        self.pool_size = pool_size
         #: start process-mode servers with their telemetry hubs enabled
         #: (thread-mode servers share this interpreter's hub — enable it
         #: directly).  Required for :meth:`merged_trace` to see remote
@@ -69,7 +75,7 @@ class LocalCluster:
             self.names.append(name)
             if self.mode == "thread":
                 server = ComputeServer(
-                    name=name,
+                    name=name, executor=self.executor,
                     registry=("127.0.0.1", self.registry_server.port)).start()
                 self._servers.append(server)
                 self.clients.append(ServerClient("127.0.0.1", server.port))
@@ -83,6 +89,10 @@ class LocalCluster:
                 "--registry", f"127.0.0.1:{self.registry_server.port}"]
         if self.telemetry:
             argv.append("--telemetry")
+        if self.executor:
+            argv += ["--executor", self.executor]
+        if self.pool_size is not None:
+            argv += ["--pool-size", str(self.pool_size)]
         proc = subprocess.Popen(
             argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
         self._procs.append(proc)

@@ -307,14 +307,17 @@ def migrate_live(process: Process, client, timeout: float = 10.0) -> None:
     ctrl.abandon()
 
 
-def loads_migration(data: bytes, network: Optional[Network] = None) -> Any:
+def loads_migration(data: bytes, network: Optional[Network] = None,
+                    buffers=None) -> Any:
     """Deserialize a migrated process, attaching channels to ``network``.
 
     Remote connections back to the origin server are established during
     unpickling (the ``readResolve`` side of the paper's scheme).
+    ``buffers`` forwards protocol-5 out-of-band buffers collected when the
+    object was dumped with a ``buffer_callback``.
     """
     with import_network(network):
-        obj = pickle.loads(data)
+        obj = pickle.loads(data, buffers=buffers or ())
     if network is not None and isinstance(obj, Process):
         obj.network = network
         if isinstance(obj, CompositeProcess):

@@ -79,8 +79,13 @@ class ComputeServer:
     """
 
     def __init__(self, port: int = 0, name: str = "server",
-                 registry: Optional[tuple[str, int]] = None) -> None:
+                 registry: Optional[tuple[str, int]] = None,
+                 executor: Any = None) -> None:
         self.name = name
+        #: compute backend spec for shipped ``call`` tasks (resolved lazily
+        #: so servers that never execute tasks never build a pool)
+        self.executor = executor
+        self._exec: Any = None
         self._listener = open_listener(port)
         self.port = self._listener.getsockname()[1]
         #: network hosting every process migrated to this server
@@ -182,7 +187,7 @@ class ComputeServer:
                 target = loads_migration(self._payload(request),
                                          network=self.network)
                 self.tasks_run += 1
-                return {"ok": True, "result": target.run()}
+                return {"ok": True, "result": self._executor().run_task(target)}
             if op == "wait_snapshot":
                 return {"ok": True, "snapshot": self.network.wait_snapshot()}
             if op == "grow_channel":
@@ -201,6 +206,7 @@ class ComputeServer:
                         "channels": len(self.network.channels),
                         "uptime_seconds": time.monotonic() - self.started_at,
                         "telemetry_enabled": _telemetry.enabled,
+                        "executor": self._executor_stats(),
                         "failures": failures}
             if op == "metrics":
                 # Telemetry counterpart of wait_snapshot: one server's
@@ -234,6 +240,27 @@ class ComputeServer:
         except Exception as exc:  # noqa: BLE001
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
                     "traceback": traceback.format_exc()}
+
+    def _executor(self):
+        """The server's compute backend, resolved on first use.
+
+        Hosted Workers resolve their own specs; this one covers shipped
+        ``call`` tasks, so a whole server — hub plus any number of hosted
+        runnables — shares the one per-host pool.
+        """
+        if self._exec is None:
+            from repro.parallel.executor import resolve_executor
+
+            self._exec = resolve_executor(self.executor)
+        return self._exec
+
+    def _executor_stats(self) -> dict:
+        if self._exec is None:
+            spec = self.executor
+            kind = spec if isinstance(spec, str) else getattr(
+                spec, "kind", None)
+            return {"kind": kind, "resolved": False}
+        return {**self._exec.stats(), "resolved": True}
 
     def _run_async(self, target: Any) -> None:
         self.processes_hosted += 1
@@ -385,9 +412,22 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
                         help="host other servers should dial back")
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the telemetry hub (also: REPRO_TELEMETRY=1)")
+    parser.add_argument("--executor", default=None,
+                        choices=["inline", "thread", "process"],
+                        help="compute backend for shipped tasks and hosted "
+                             "workers (also: REPRO_EXECUTOR)")
+    parser.add_argument("--pool-size", type=int, default=None,
+                        help="process/thread pool width (also: REPRO_POOL_SIZE;"
+                             " default: CPU count)")
     args = parser.parse_args(argv)
     if args.telemetry:
         _telemetry.enable()
+    if args.executor:
+        # env, not a constructor arg: hosted Workers resolve their specs
+        # against this process's environment, and both paths must agree
+        os.environ["REPRO_EXECUTOR"] = args.executor
+    if args.pool_size is not None:
+        os.environ["REPRO_POOL_SIZE"] = str(args.pool_size)
     # one server per process in standalone mode: name its trace lane
     _telemetry.node = args.name
     if args.advertise:

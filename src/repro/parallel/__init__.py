@@ -15,6 +15,11 @@ from repro.parallel.factor import (DEFAULT_BATCH, FactorConsumerResult,
                                    FactorWorkerTask, factor_search_sequential,
                                    is_probable_prime, make_weak_key,
                                    random_prime, solve_difference)
+from repro.parallel.executor import (InlineExecutor, ProcessPool,
+                                     TaskExecutor, ThreadExecutor,
+                                     default_pool_size, resolve_executor,
+                                     shared_executor,
+                                     shutdown_shared_executors)
 from repro.parallel.farm import FarmHandle, build_farm, run_farm
 from repro.parallel.generic import Consumer, Producer, Worker
 from repro.parallel.imaging import (BLOCK, BlockTask, CompressedBlock,
@@ -31,6 +36,9 @@ __all__ = [
     "is_probable_prime", "make_weak_key", "random_prime", "solve_difference",
     "FarmHandle", "build_farm", "run_farm",
     "Consumer", "Producer", "Worker",
+    "InlineExecutor", "ProcessPool", "TaskExecutor", "ThreadExecutor",
+    "default_pool_size", "resolve_executor", "shared_executor",
+    "shutdown_shared_executors",
     "BLOCK", "BlockTask", "CompressedBlock", "ImageProducerTask",
     "compress_block", "decompress_block", "join_blocks", "random_image",
     "reassemble", "split_blocks",

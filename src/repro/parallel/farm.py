@@ -10,6 +10,7 @@ compute servers first.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.kpn.network import Network
@@ -17,6 +18,10 @@ from repro.parallel.generic import Consumer, Producer, Worker
 from repro.parallel.meta import ParallelHarness, meta_dynamic, meta_static
 
 __all__ = ["build_farm", "run_farm", "FarmHandle"]
+
+#: per-instance suffix for farm channel names — two farms sharing one
+#: Network (or one telemetry hub) must not collide in trace/metric labels
+_farm_ids = itertools.count()
 
 
 class FarmHandle:
@@ -32,7 +37,19 @@ class FarmHandle:
         self.consumer = consumer
 
     def run(self, timeout: Optional[float] = None) -> List[Any]:
-        self.network.run(timeout=timeout)
+        """Run the farm; on timeout, tear the network down before returning.
+
+        ``Network.run`` leaves threads parked on channel operations when
+        the join times out; a farm is a self-contained pipeline, so the
+        handle closes every channel (waking all of them into cascading
+        termination) and re-joins briefly rather than leaking threads.
+        Shared executors (the per-host pool) are left running — they
+        outlive any one farm by design.
+        """
+        completed = self.network.run(timeout=timeout)
+        if not completed:
+            self.network.shutdown()
+            self.network.join(timeout=5.0)
         return self.results
 
 
@@ -43,7 +60,8 @@ def build_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
                slowdowns: Optional[List[float]] = None,
                network: Optional[Network] = None,
                channel_capacity: Optional[int] = None,
-               cluster=None, defer_workers: bool = False) -> FarmHandle:
+               cluster=None, defer_workers: bool = False,
+               executor: Any = None) -> FarmHandle:
     """Assemble a farm; ``mode`` ∈ {"pipeline", "static", "dynamic"}.
 
     ``cluster`` (a started :class:`~repro.distributed.LocalCluster`) ships
@@ -55,12 +73,20 @@ def build_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
     leaves the workers on the harness for the caller to place — the hook
     policy-driven placement (:func:`repro.distributed.balancer.place_workers`)
     uses.
+
+    ``executor`` selects the compute backend for every worker:
+    ``"inline"`` (default), ``"thread"``, ``"process"``, or a live
+    :class:`~repro.parallel.executor.TaskExecutor` — see
+    :mod:`repro.parallel.executor`.
     """
     if mode not in ("pipeline", "static", "dynamic"):
         raise ValueError("mode must be 'pipeline', 'static' or 'dynamic'")
     net = network or Network(name=f"farm-{mode}")
-    tasks = net.channel(channel_capacity, name="farm-tasks")
-    results_ch = net.channel(channel_capacity, name="farm-results")
+    # channel names carry a per-farm id: two farms on one Network (or one
+    # telemetry hub) would otherwise collide in trace and metric labels
+    fid = next(_farm_ids)
+    tasks = net.channel(channel_capacity, name=f"farm-{fid}-tasks")
+    results_ch = net.channel(channel_capacity, name=f"farm-{fid}-results")
     collected: List[Any] = []
     producer = Producer(producer_task, tasks.get_output_stream(),
                         iterations=producer_iterations, name="Producer")
@@ -74,13 +100,14 @@ def build_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
         slow = slowdowns[0] if slowdowns else 0.0
         net.add(Worker(tasks.get_input_stream(),
                        results_ch.get_output_stream(), slowdown=slow,
-                       name="Worker"))
+                       name="Worker", executor=executor))
     else:
         build = meta_static if mode == "static" else meta_dynamic
         harness = build(tasks.get_input_stream(),
                         results_ch.get_output_stream(), n_workers,
                         network=net, slowdowns=slowdowns,
-                        channel_capacity=channel_capacity)
+                        channel_capacity=channel_capacity,
+                        executor=executor)
         if cluster is not None:
             harness.distribute(cluster)
             harness.add_local_to(net)

@@ -61,23 +61,41 @@ class Worker(IterativeProcess):
     real-execution benchmark to emulate heterogeneous CPU speeds on one
     machine (a class-C worker is a class-A worker with a bigger
     slowdown).
+
+    ``executor`` selects where ``task.run()`` executes: ``None`` (the
+    host's ``REPRO_EXECUTOR`` setting, default inline), ``"inline"``,
+    ``"thread"``, ``"process"``, or a live
+    :class:`~repro.parallel.executor.TaskExecutor`.  The spec is resolved
+    lazily in ``on_start`` so a worker shipped to a compute server uses
+    *that* host's shared pool, and the KPN thread's blocking-read /
+    bounded-buffer semantics are untouched — it just blocks on the
+    executor's future instead of the GIL.
     """
 
     def __init__(self, source: InputStream, out: OutputStream,
                  iterations: int = 0, slowdown: float = 0.0,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None, executor: Any = None) -> None:
         super().__init__(iterations=iterations, name=name)
         self.source = source
         self.out = out
         self.slowdown = slowdown
+        self.executor = executor
         self.tasks_processed = 0
+        self._exec: Any = None
         self.track(source, out)
+
+    def on_start(self) -> None:
+        from repro.parallel.executor import resolve_executor
+
+        self._exec = resolve_executor(self.executor)
 
     def step(self) -> None:
         task = OBJECT.read(self.source)
+        if self._exec is None:      # live-migrated workers skip on_start
+            self.on_start()
         traced = _telemetry.enabled
         t0 = time.perf_counter() if traced else 0.0
-        result = task.run()
+        result = self._exec.run_task(task)
         if self.slowdown > 0.0:
             time.sleep(self.slowdown)
         self.tasks_processed += 1
@@ -93,6 +111,11 @@ class Worker(IterativeProcess):
     def __getstate__(self) -> dict:
         state = super().__getstate__()
         state["tasks_processed"] = 0
+        # the resolved executor is host-local (threads, child processes);
+        # only the spec travels, and re-resolves on the destination host.
+        state["_exec"] = None
+        if not isinstance(state.get("executor"), (str, type(None))):
+            state["executor"] = getattr(state["executor"], "kind", None)
         return state
 
 

@@ -149,10 +149,12 @@ class ParallelHarness:
         return out
 
 
-def _default_worker_factory(slowdowns: Optional[List[float]] = None) -> WorkerFactory:
+def _default_worker_factory(slowdowns: Optional[List[float]] = None,
+                            executor=None) -> WorkerFactory:
     def factory(i: int, source, out) -> Process:
         slow = slowdowns[i] if slowdowns else 0.0
-        return Worker(source, out, slowdown=slow, name=f"Worker-{i}")
+        return Worker(source, out, slowdown=slow, name=f"Worker-{i}",
+                      executor=executor)
 
     return factory
 
@@ -161,13 +163,16 @@ def meta_static(tasks_in, results_out, n_workers: int,
                 network: Optional[Network] = None,
                 worker_factory: Optional[WorkerFactory] = None,
                 slowdowns: Optional[List[float]] = None,
-                channel_capacity: Optional[int] = None) -> ParallelHarness:
+                channel_capacity: Optional[int] = None,
+                executor=None) -> ParallelHarness:
     """Build the statically balanced composition of Figure 16.
 
     ``tasks_in`` / ``results_out`` are the channel endpoints that would
     have fed a single worker; the composition is a drop-in replacement.
+    ``executor`` is forwarded to the default worker factory (ignored when
+    a custom ``worker_factory`` is supplied).
     """
-    factory = worker_factory or _default_worker_factory(slowdowns)
+    factory = worker_factory or _default_worker_factory(slowdowns, executor)
     mk = (network.channel if network is not None
           else lambda cap=None, name="": Channel(cap or 1024, name=name))
     w_in = [mk(channel_capacity, name=f"static-in-{i}") for i in range(n_workers)]
@@ -188,7 +193,8 @@ def meta_dynamic(tasks_in, results_out, n_workers: int,
                  network: Optional[Network] = None,
                  worker_factory: Optional[WorkerFactory] = None,
                  slowdowns: Optional[List[float]] = None,
-                 channel_capacity: Optional[int] = None) -> ParallelHarness:
+                 channel_capacity: Optional[int] = None,
+                 executor=None) -> ParallelHarness:
     """Build the dynamically balanced composition of Figures 17–18.
 
     Internal graph::
@@ -201,7 +207,7 @@ def meta_dynamic(tasks_in, results_out, n_workers: int,
     the Select re-sequences, so the consumer-visible stream is identical
     to MetaStatic's (the "well behaved" property, section 5).
     """
-    factory = worker_factory or _default_worker_factory(slowdowns)
+    factory = worker_factory or _default_worker_factory(slowdowns, executor)
     mk = (network.channel if network is not None
           else lambda cap=None, name="": Channel(cap or 1024, name=name))
     w_in = [mk(channel_capacity, name=f"dyn-in-{i}") for i in range(n_workers)]

@@ -75,7 +75,27 @@ class StructCodec(Codec):
 
 
 class ObjectCodec(Codec):
-    """Variable-width pickle-framed codec (``ObjectOutputStream`` analogue)."""
+    """Variable-width pickle-framed codec (``ObjectOutputStream`` analogue).
+
+    This is the per-task hot path of every farm (one read + one write per
+    Worker step), so both directions keep per-stream serialization state
+    instead of re-deriving it per element:
+
+    * reads cache the stream's bound ``read_exactly`` on the stream itself
+      — no ``getattr`` probe and no fallback-loop dispatch per element;
+    * writes go through the stream's ``write_vectored`` when present, so
+      the 4-byte header and the payload reach the channel in one call with
+      no ``header + payload`` concatenation copy.
+
+    Reusing actual ``Pickler``/``Unpickler`` *objects* per stream was
+    measured and rejected: with CPython's C implementation,
+    ``pickle.dumps`` beats a reused ``Pickler`` + ``BytesIO`` at every
+    payload size (the framework setup it would amortize is cheaper than
+    the Python-level buffer juggling), and clearing an ``Unpickler``'s
+    memo between messages is not supported by the C accelerator.  The
+    per-message allocation that matters — the joined frame — is what the
+    vectored write removes.
+    """
 
     width = None
     name = "object"
@@ -86,31 +106,59 @@ class ObjectCodec(Codec):
 
     def write(self, out: OutputStream, value: Any) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        out.write(self._LEN.pack(len(payload)) + payload)
+        try:
+            vectored = out._codec_write_vectored
+        except AttributeError:
+            vectored = getattr(out, "write_vectored", None)
+            try:
+                out._codec_write_vectored = vectored
+            except AttributeError:      # slotted/foreign sink: no cache
+                pass
+        if vectored is not None:
+            vectored((self._LEN.pack(len(payload)), payload))
+        else:
+            out.write(self._LEN.pack(len(payload)) + payload)
 
     def read(self, source: InputStream) -> Any:
-        (length,) = self._LEN.unpack(_read_exactly(source, 4))
-        return pickle.loads(_read_exactly(source, length))
+        try:
+            exact = source._codec_read_exactly
+        except AttributeError:
+            exact = _exact_reader(source)
+            try:
+                source._codec_read_exactly = exact
+            except AttributeError:      # slotted/foreign source: no cache
+                pass
+        (length,) = self._LEN.unpack(exact(4))
+        return pickle.loads(exact(length))
 
     def encode(self, value: Any) -> bytes:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         return self._LEN.pack(len(payload)) + payload
 
 
-def _read_exactly(source: InputStream, n: int) -> bytes:
+def _exact_reader(source: InputStream):
+    """A bound exact-length reader for ``source`` (cacheable per stream)."""
     read_exactly = getattr(source, "read_exactly", None)
     if read_exactly is not None:
-        return read_exactly(n)
-    parts: list[bytes] = []
-    remaining = n
-    while remaining > 0:
-        chunk = source.read(remaining)
-        if not chunk:
-            from repro.errors import EndOfStreamError
-            raise EndOfStreamError("end of stream")
-        parts.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(parts)
+        return read_exactly
+
+    def _fallback(n: int) -> bytes:
+        parts: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = source.read(remaining)
+            if not chunk:
+                from repro.errors import EndOfStreamError
+                raise EndOfStreamError("end of stream")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    return _fallback
+
+
+def _read_exactly(source: InputStream, n: int) -> bytes:
+    return _exact_reader(source)(n)
 
 
 LONG = StructCodec(">q", "long")

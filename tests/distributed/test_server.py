@@ -145,3 +145,35 @@ def test_two_clients_concurrently(server_client):
     for t in threads:
         t.join(timeout=30)
     assert sorted(results) == sorted([2 ** k for k in range(5)] * 4)
+
+
+def test_call_routes_through_server_executor():
+    """A server built with executor="process" executes shipped tasks in
+    a pool child, and its stats expose the pool's counters."""
+    from repro.parallel.executor import ProcessPool
+
+    pool = ProcessPool(size=1)
+    server = ComputeServer(name="exec-server", executor=pool).start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        assert client.call(CallableTask(pow, 3, 4)) == 81
+        stats = client.stats()
+        assert stats["executor"]["kind"] == "process"
+        assert stats["executor"]["resolved"] is True
+        assert stats["executor"]["tasks_completed"] >= 1
+    finally:
+        client.close()
+        server.stop()
+        pool.close()
+
+
+def test_stats_report_unresolved_executor_spec():
+    server = ComputeServer(name="lazy-server", executor="thread").start()
+    client = ServerClient("127.0.0.1", server.port)
+    try:
+        stats = client.stats()
+        # no call yet: the spec is reported but nothing was built
+        assert stats["executor"] == {"kind": "thread", "resolved": False}
+    finally:
+        client.close()
+        server.stop()

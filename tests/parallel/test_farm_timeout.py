@@ -1,0 +1,72 @@
+"""``FarmHandle.run(timeout=...)``: a farm that cannot finish in time is
+torn down, not abandoned — the timeout fires, the network shuts down into
+the normal cascading-termination path, and neither KPN threads nor pool
+children leak past the handle."""
+
+import os
+import time
+
+from repro.parallel.executor import ProcessPool
+from repro.parallel.farm import build_farm
+from repro.parallel.tasks import CallableTask, RangeProducerTask
+
+
+def _sleep_producer(n, seconds):
+    return RangeProducerTask(n, lambda i: CallableTask(time.sleep, seconds))
+
+
+def _wait_threads_gone(network, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not network.live_threads():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_timeout_fires_and_network_shuts_down():
+    handle = build_farm(_sleep_producer(8, 1.0), n_workers=1, mode="dynamic")
+    t0 = time.monotonic()
+    results = handle.run(timeout=0.3)
+    elapsed = time.monotonic() - t0
+    # the run returned promptly (not after the ~8s the farm would need)
+    assert elapsed < 5.0
+    assert len(results) < 8
+    # every process thread terminated through the shutdown cascade
+    assert _wait_threads_gone(handle.network), \
+        f"leaked threads: {[t.name for t in handle.network.live_threads()]}"
+
+
+def test_timeout_with_process_pool_leaves_pool_serviceable():
+    pool = ProcessPool(size=1)
+    try:
+        handle = build_farm(_sleep_producer(8, 1.0), n_workers=1,
+                            mode="dynamic", executor=pool)
+        handle.run(timeout=0.3)
+        assert _wait_threads_gone(handle.network)
+        # the farm's teardown must not close a shared/caller-owned pool:
+        # its child is alive and still takes work
+        (pid,) = pool.child_pids()
+        os.kill(pid, 0)  # raises if the child leaked/died
+        assert pool.run_task(CallableTask(pow, 2, 5)) == 32
+    finally:
+        pool.close()
+    # ... and closing the pool reaps the child
+    with_pid_gone = False
+    for _ in range(50):
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            with_pid_gone = True
+            break
+        time.sleep(0.05)
+    assert with_pid_gone
+
+
+def test_completed_run_is_unaffected_by_timeout_path():
+    handle = build_farm(
+        RangeProducerTask(6, lambda i: CallableTask(pow, i, 2)),
+        n_workers=2, mode="static")
+    results = handle.run(timeout=60)
+    assert results == [i * i for i in range(6)]
+    assert _wait_threads_gone(handle.network)

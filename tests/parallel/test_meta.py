@@ -127,3 +127,15 @@ def test_distribute_static_mode_through_cluster():
         got = run_farm(tag_producer(10), n_workers=2, mode="static",
                        cluster=cluster, timeout=120)
         assert got == [i * i for i in range(10)]
+
+
+def test_two_farms_on_one_network_get_distinct_channel_names():
+    # fixed "farm-tasks"/"farm-results" names used to collide in
+    # telemetry/trace labels when farms shared a Network
+    net = Network(name="shared")
+    build_farm(tag_producer(1), network=net)
+    build_farm(tag_producer(1), network=net)
+    names = [ch.name for ch in net.channels
+             if "-tasks" in ch.name or "-results" in ch.name]
+    assert len(names) == 4
+    assert len(set(names)) == 4, f"colliding farm channel names: {names}"
