@@ -1,0 +1,143 @@
+"""Compare a fresh benchmark JSON against a committed BENCH_* baseline.
+
+Walks both documents, pairs up numeric leaves by their dotted path, and
+classifies each metric by its key name: timings (``*_s``, ``*seconds*``,
+``median``/``min``/``max``/``*time*``) regress when they go *up*,
+throughputs (``*per_sec*``, ``*speedup*``, ``*_rate*``) when they go
+*down*.  Keys that are obviously not performance metrics (pids, counts,
+versions, configuration) are skipped.
+
+This is a *smoke* comparison for CI: shared runners are far too noisy
+for hard perf gates, so the default is warn-only — regressions beyond
+the tolerance are listed and the exit code stays 0.  ``--strict`` turns
+them into a non-zero exit for local use on a quiet box.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--tolerance 0.5] [--report compare.txt] [--strict]
+
+``--tolerance 0.5`` means "warn when a metric is more than 50% worse
+than the baseline".
+"""
+
+import argparse
+import json
+import sys
+
+# substrings that mark a numeric leaf as a performance metric
+_LOWER_BETTER = ("_s", "seconds", "median", "min", "max", "time", "latency",
+                 "overhead")
+_HIGHER_BETTER = ("per_sec", "per_second", "speedup", "rate", "throughput",
+                  "msgs_s", "mb_s")
+# leaves that are numeric but not comparable performance data
+_SKIP = ("pid", "cpu_count", "count", "repeats", "version", "port",
+         "tasks", "workers", "bits", "batch", "events", "series",
+         "processes", "smoke", "iterations", "capacity", "size")
+_SKIP_PREFIXES = ("n_",)  # n_tasks, n_workers, ...
+
+
+def _leaves(doc, prefix=""):
+    """Yield (dotted_path, number) for every numeric leaf in ``doc``."""
+    if isinstance(doc, dict):
+        for key, value in sorted(doc.items()):
+            yield from _leaves(value, f"{prefix}{key}.")
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from _leaves(value, f"{prefix}{i}.")
+    elif isinstance(doc, bool):
+        return
+    elif isinstance(doc, (int, float)):
+        yield prefix.rstrip("."), float(doc)
+
+
+def _direction(path):
+    """'down' if lower is better, 'up' if higher is better, None to skip."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    if any(tok in leaf for tok in _SKIP) or leaf.startswith(_SKIP_PREFIXES):
+        return None
+    if any(tok in leaf for tok in _HIGHER_BETTER):
+        return "up"
+    if any(tok in leaf for tok in _LOWER_BETTER):
+        return "down"
+    return None
+
+
+def compare(baseline: dict, current: dict, tolerance: float):
+    """Return (rows, regressions): every compared metric, and the bad ones.
+
+    Each row is ``(path, base, cur, ratio, status)`` where ratio is
+    current/baseline and status is ``ok`` / ``improved`` / ``REGRESSED``.
+    """
+    base_leaves = dict(_leaves(baseline))
+    cur_leaves = dict(_leaves(current))
+    rows, regressions = [], []
+    for path in sorted(base_leaves.keys() & cur_leaves.keys()):
+        direction = _direction(path)
+        if direction is None:
+            continue
+        base, cur = base_leaves[path], cur_leaves[path]
+        if base == 0:  # ratio undefined; absolute jitter around zero is fine
+            continue
+        ratio = cur / base
+        worse = ratio > 1 + tolerance if direction == "down" \
+            else ratio < 1 / (1 + tolerance)
+        better = ratio < 1.0 if direction == "down" else ratio > 1.0
+        status = "REGRESSED" if worse else ("improved" if better else "ok")
+        row = (path, base, cur, ratio, status)
+        rows.append(row)
+        if worse:
+            regressions.append(row)
+    return rows, regressions
+
+
+def render(rows, regressions, tolerance: float, baseline_path: str,
+           current_path: str):
+    lines = [f"benchmark comparison: {current_path} vs baseline "
+             f"{baseline_path} (tolerance {tolerance:.0%})",
+             f"{'METRIC':<58} {'BASE':>12} {'CURRENT':>12} "
+             f"{'RATIO':>7}  STATUS"]
+    for path, base, cur, ratio, status in rows:
+        lines.append(f"{path:<58} {base:>12.6g} {cur:>12.6g} "
+                     f"{ratio:>6.2f}x  {status}")
+    if not rows:
+        lines.append("(no comparable numeric metrics found)")
+    lines.append("")
+    if regressions:
+        lines.append(f"{len(regressions)} metric(s) beyond tolerance — "
+                     "treat as a hint, not a verdict: shared runners are "
+                     "noisy, rerun before believing a regression.")
+    else:
+        lines.append("no regressions beyond tolerance.")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="warn-only benchmark JSON comparison")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly generated benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional slowdown (default 0.5 = 50%%,"
+                             " generous on purpose: CI runners are noisy)")
+    parser.add_argument("--report", default=None,
+                        help="also write the comparison table to this file")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of warn-only")
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    rows, regressions = compare(baseline, current, args.tolerance)
+    text = render(rows, regressions, args.tolerance,
+                  args.baseline, args.current)
+    print(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text + "\n")
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ top             live refreshing view of per-server cluster state
 experiment      regenerate table1 / table2 / fig19 / fig20 on the simulator
 example         run one of the bundled examples by name
 check           build a figure network and run the consistency checker
+profile         run an example network under the continuous profiler:
+                ranked bottleneck report, per-process utilization,
+                capacity-advisor spec, optional folded stacks
 version         print the library version
 ==============  ==============================================================
 
@@ -38,6 +41,9 @@ EXAMPLES = ("quickstart", "fibonacci", "primes_sieve", "newton_sqrt",
             "tracing_and_graphs", "mandelbrot_farm", "cluster_operations",
             "csp_comparison")
 CHECKABLE = ("fibonacci", "primes", "hamming", "newton", "fig13")
+#: figure networks `repro profile` can build and run; fig19 is the task
+#: farm (the paper's real workload shape), fig13 exercises Parks growth
+PROFILABLE = CHECKABLE + ("fig19",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_server.add_argument("--advertise", default=None)
     p_server.add_argument("--telemetry", action="store_true",
                           help="enable the telemetry hub on this server")
+    p_server.add_argument("--profile", action="store_true",
+                          help="enable the continuous KPN profiler "
+                               "(implies --telemetry)")
     p_server.add_argument("--executor", default=None,
                           choices=["inline", "thread", "process"],
                           help="compute backend for shipped tasks/workers")
@@ -101,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="consistency-check a figure network")
     p_check.add_argument("which", choices=CHECKABLE)
 
+    p_prof = sub.add_parser(
+        "profile", help="run a figure network under the continuous "
+                        "profiler and report its bottlenecks")
+    p_prof.add_argument("which", choices=PROFILABLE)
+    p_prof.add_argument("--spec-out", default=None, metavar="FILE",
+                        help="capacity-advisor spec JSON "
+                             "(default: <which>-capacity.json)")
+    p_prof.add_argument("--folded-out", default=None, metavar="FILE",
+                        help="write folded stacks for flamegraph tools")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="channels shown in the bottleneck table")
+    p_prof.add_argument("--workers", type=int, default=4,
+                        help="fig19 farm width (default 4)")
+    p_prof.add_argument("--tasks", type=int, default=120,
+                        help="fig19 task count (default 120)")
+
     sub.add_parser("version", help="print the version")
     return parser
 
@@ -140,6 +165,8 @@ def _cmd_server(args) -> int:
         argv += ["--advertise", args.advertise]
     if args.telemetry:
         argv += ["--telemetry"]
+    if args.profile:
+        argv += ["--profile"]
     if args.executor:
         argv += ["--executor", args.executor]
     if args.pool_size is not None:
@@ -180,7 +207,8 @@ def _cmd_metrics(args) -> int:
             print(f"{key} = {reply['counters'][key]:g}")
     else:
         print(prometheus_text(reply["counters"],
-                              histograms=reply.get("histograms")), end="")
+                              histograms=reply.get("histograms"),
+                              gauges=reply.get("gauges")), end="")
     if not reply.get("telemetry_enabled"):
         print("# note: telemetry is DISABLED on the server "
               "(start it with --telemetry or REPRO_TELEMETRY=1)",
@@ -191,12 +219,14 @@ def _cmd_metrics(args) -> int:
 def _top_row(name: str, client) -> dict:
     """Collect one server's ``repro top`` row; tolerate partial failures."""
     row: dict = {"name": name, "stats": None, "snapshot": None,
-                 "counters": None}
+                 "counters": None, "profile": None}
     try:
         row["stats"] = client.stats()
         row["snapshot"] = client.wait_snapshot()
         if row["stats"].get("telemetry_enabled"):
-            row["counters"] = client.metrics().get("counters")
+            reply = client.metrics()
+            row["counters"] = reply.get("counters")
+            row["profile"] = reply.get("profile")
     except Exception as exc:  # noqa: BLE001 - a dead server is a row, not a crash
         row["error"] = f"{type(exc).__name__}: {exc}"
     return row
@@ -331,6 +361,63 @@ def _cmd_check(args) -> int:
     return 1 if any(i.severity == "error" for i in issues) else 0
 
 
+def _profile_target(args):
+    """Build the requested network; return ``(network, runner)``."""
+    if args.which == "fig19":
+        from repro.parallel import CallableTask, RangeProducerTask
+        from repro.parallel.farm import build_farm
+
+        handle = build_farm(
+            RangeProducerTask(args.tasks, lambda i: CallableTask(pow, i, 3)),
+            n_workers=args.workers, mode="dynamic")
+        return handle.network, lambda: handle.run(timeout=300)
+    from repro.processes import (fibonacci, hamming, modulo_merge,
+                                 newton_sqrt, primes)
+
+    builders = {
+        "fibonacci": lambda: fibonacci(10),
+        "primes": lambda: primes(count=10),
+        "hamming": lambda: hamming(10),
+        "newton": lambda: newton_sqrt(2.0),
+        "fig13": lambda: modulo_merge(50, 10),
+    }
+    built = builders[args.which]()
+    return built.network, lambda: built.run(timeout=300)
+
+
+def _cmd_profile(args) -> int:
+    """Run a figure network with the profiler on; print the bottleneck
+    report and write the capacity-advisor spec."""
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.profile import (PROFILER, analyze, fold_stacks,
+                                         render_profile, write_capacity_spec)
+
+    network, runner = _profile_target(args)
+    was_telemetry = TELEMETRY.enabled
+    was_profiler = PROFILER.enabled
+    TELEMETRY.reset().enable()
+    PROFILER.reset().enable()
+    try:
+        runner()
+        snapshot = PROFILER.snapshot(network=network)
+        channel_map = network.channel_map()
+    finally:
+        if not was_profiler:
+            PROFILER.disable()
+        if not was_telemetry:
+            TELEMETRY.disable().reset()
+    report = analyze(snapshot, channel_map)
+    print(render_profile(report, top=args.top))
+    spec_out = args.spec_out or f"{args.which}-capacity.json"
+    write_capacity_spec(report, spec_out)
+    print(f"capacity spec written to {spec_out}", file=sys.stderr)
+    if args.folded_out:
+        with open(args.folded_out, "w") as fh:
+            fh.write("\n".join(fold_stacks(snapshot)) + "\n")
+        print(f"folded stacks written to {args.folded_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_version(args) -> int:
     import repro
 
@@ -347,6 +434,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "example": _cmd_example,
     "check": _cmd_check,
+    "profile": _cmd_profile,
     "version": _cmd_version,
 }
 

@@ -43,6 +43,7 @@ class LocalCluster:
 
     def __init__(self, n_servers: int = 2, mode: str = "thread",
                  name_prefix: str = "server", telemetry: bool = False,
+                 profile: bool = False,
                  executor: Optional[str] = None,
                  pool_size: Optional[int] = None) -> None:
         if mode not in ("thread", "process"):
@@ -59,6 +60,11 @@ class LocalCluster:
         #: directly).  Required for :meth:`merged_trace` to see remote
         #: events.
         self.telemetry = telemetry
+        #: start process-mode servers with the continuous profiler on
+        #: (implies telemetry on those servers; thread-mode servers share
+        #: this interpreter's PROFILER — enable it directly).  Required
+        #: for :meth:`merged_profile` to see remote attributions.
+        self.profile = profile
         self.registry_server: Optional[RegistryServer] = None
         self.registry: Optional[RegistryClient] = None
         self._servers: List[ComputeServer] = []
@@ -89,6 +95,8 @@ class LocalCluster:
                 "--registry", f"127.0.0.1:{self.registry_server.port}"]
         if self.telemetry:
             argv.append("--telemetry")
+        if self.profile:
+            argv.append("--profile")
         if self.executor:
             argv += ["--executor", self.executor]
         if self.pool_size is not None:
@@ -159,6 +167,39 @@ class LocalCluster:
             # all thread-mode servers read the same hub: don't double-count
             per_server = dict(list(per_server.items())[:1])
         return merge_counters(m["counters"] for m in per_server.values())
+
+    def profiles(self) -> Dict[str, Optional[dict]]:
+        """Per-server profiler snapshots (from the ``metrics`` op fan-out).
+
+        ``None`` for servers whose profiler is off.
+        """
+        return {name: c.metrics().get("profile")
+                for name, c in zip(self.names, self.clients)}
+
+    def merged_profile(self) -> dict:
+        """One cluster-wide blocked-time attribution.
+
+        Fetches every server's profiler snapshot and merges them with
+        :func:`repro.telemetry.profile.merge_profiles`.  Snapshots are
+        deduplicated by pid — thread-mode servers share one interpreter's
+        profiler, so their snapshots coincide and only one copy
+        contributes.  Feed the result to :func:`~repro.telemetry.profile.analyze`
+        for a cluster-wide bottleneck report.
+        """
+        from repro.telemetry.profile import merge_profiles
+
+        per_node: Dict[str, dict] = {}
+        seen_pids: set = set()
+        for name, client in zip(self.names, self.clients):
+            snap = client.metrics().get("profile")
+            if not snap:
+                continue
+            pid = snap.get("pid")
+            if pid is not None and pid in seen_pids:
+                continue
+            seen_pids.add(pid)
+            per_node[snap.get("node") or name] = snap
+        return merge_profiles(per_node)
 
     # -- cluster-causal tracing ---------------------------------------------
     def clock_offsets(self, probes: int = 5) -> Dict[str, "OffsetEstimate"]:

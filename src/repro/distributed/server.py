@@ -47,6 +47,7 @@ from repro.distributed.wire import (OutOfBand, advertised_host,
                                     connect_with_retry, open_listener,
                                     recv_obj, send_obj)
 from repro.telemetry.core import TELEMETRY as _telemetry
+from repro.telemetry.profile import PROFILER as _profiler
 from repro.telemetry.clock import ProbeSample, estimate_offset
 from repro.telemetry.distributed import (TraceContext, activate,
                                          current_context, event_to_dict)
@@ -213,10 +214,14 @@ class ComputeServer:
                 # share of a cluster-wide metrics aggregation.  The hub is
                 # process-wide, so thread-mode clusters (several servers in
                 # one interpreter) see the interpreter's combined counters.
+                profile = (_profiler.snapshot(network=self.network)
+                           if _profiler.enabled else None)
                 return {"ok": True, "name": self.name,
                         "telemetry_enabled": _telemetry.enabled,
                         "counters": _telemetry.counters(),
                         "histograms": _telemetry.histogram_snapshots(),
+                        "gauges": _telemetry.gauges(),
+                        "profile": profile,
                         "events_emitted": _telemetry.events_emitted,
                         "tasks_run": self.tasks_run,
                         "processes_hosted": self.processes_hosted,
@@ -412,6 +417,9 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
                         help="host other servers should dial back")
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the telemetry hub (also: REPRO_TELEMETRY=1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable the continuous KPN profiler — implies "
+                             "--telemetry (also: REPRO_PROFILE=1)")
     parser.add_argument("--executor", default=None,
                         choices=["inline", "thread", "process"],
                         help="compute backend for shipped tasks and hosted "
@@ -422,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
     args = parser.parse_args(argv)
     if args.telemetry:
         _telemetry.enable()
+    if args.profile:
+        _profiler.enable()
     if args.executor:
         # env, not a constructor arg: hosted Workers resolve their specs
         # against this process's environment, and both paths must agree

@@ -150,6 +150,10 @@ class BoundedByteBuffer:
         #: total bytes ever written / read (for stats & tests)
         self.total_written = 0
         self.total_read = 0
+        #: most bytes ever buffered at once — the capacity advisor's
+        #: evidence that a channel actually used its headroom.  Maintained
+        #: unconditionally: one compare per write is cheaper than gating.
+        self._high_watermark = 0
         #: when enabled (see :meth:`record_history`), every byte ever
         #: written is appended here — the channel's full history, the
         #: object Kahn's theorem actually quantifies over.
@@ -166,6 +170,11 @@ class BoundedByteBuffer:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def high_watermark(self) -> int:
+        """Most bytes ever buffered at once."""
+        return self._high_watermark
 
     def _buffered(self) -> int:
         """Bytes currently readable (caller holds the lock)."""
@@ -300,6 +309,8 @@ class BoundedByteBuffer:
                 self._data = data
                 self._read_pos = 0
                 self.total_written += len(data)
+                if len(data) > self._high_watermark:
+                    self._high_watermark = len(data)
                 if _telemetry.enabled:
                     _telemetry.inc("kpn.channel.bytes_written", len(data),
                                    channel=self.name)
@@ -328,6 +339,9 @@ class BoundedByteBuffer:
                 self.history.extend(chunk)
             offset += len(chunk)
             self.total_written += len(chunk)
+            buffered = self._buffered()
+            if buffered > self._high_watermark:
+                self._high_watermark = buffered
             if _telemetry.enabled:
                 _telemetry.inc("kpn.channel.bytes_written", len(chunk),
                                channel=self.name)
@@ -340,8 +354,13 @@ class BoundedByteBuffer:
             acct.enter_write_wait(self)
         traced = _telemetry.enabled
         if traced:
+            # `process` makes block spans joinable with process lifecycle
+            # spans and channel.grow instants without relying on thread
+            # names (network-spawned threads carry the process name; pump
+            # and test threads may not)
             _telemetry.begin("block.write", category="kpn.block",
-                             channel=self.name, capacity=self._capacity)
+                             channel=self.name, capacity=self._capacity,
+                             process=threading.current_thread().name)
             _telemetry.inc("kpn.channel.write_blocks", 1, channel=self.name)
         try:
             self._not_full.wait()
@@ -495,7 +514,8 @@ class BoundedByteBuffer:
         traced = _telemetry.enabled
         if traced:
             _telemetry.begin("block.read", category="kpn.block",
-                             channel=self.name)
+                             channel=self.name,
+                             process=threading.current_thread().name)
             _telemetry.inc("kpn.channel.read_blocks", 1, channel=self.name)
         try:
             self._not_empty.wait()
@@ -563,12 +583,15 @@ class BoundedByteBuffer:
         with self._lock:
             return bytes(self.history) if self.history is not None else b""
 
-    def grow(self, new_capacity: int) -> None:
+    def grow(self, new_capacity: int, process: str = "") -> None:
         """Enlarge the buffer, waking any writers blocked on a full buffer.
 
         Shrinking is rejected: it could strand already-buffered data above
         the bound and is never needed by Parks' algorithm, which only ever
-        increases capacities.
+        increases capacities.  ``process`` names the blocked writer the
+        growth unblocks: the instant is emitted from the deadlock-monitor
+        thread, so without an explicit arg it could not be joined with the
+        process's block span.
         """
         with self._lock:
             if new_capacity < self._capacity:
@@ -580,7 +603,8 @@ class BoundedByteBuffer:
             self._not_full.notify_all()
         if _telemetry.enabled and new_capacity != old:
             _telemetry.instant("channel.grow", category="kpn.channel",
-                               channel=self.name, old=old, new=new_capacity)
+                               channel=self.name, old=old, new=new_capacity,
+                               process=process)
             _telemetry.inc("kpn.channel.grow_events", 1, channel=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -199,11 +199,17 @@ class Channel:
     def capacity(self) -> int:
         return self.buffer.capacity
 
-    def grow(self, new_capacity: int) -> None:
-        self.buffer.grow(new_capacity)
+    def grow(self, new_capacity: int, process: str = "") -> None:
+        self.buffer.grow(new_capacity, process=process)
 
     def set_accounting(self, accounting: Optional[BlockAccounting]) -> None:
         self.buffer.accounting = accounting
+
+    def occupancy(self) -> dict:
+        """Current fill level for the profiler's channel sampling."""
+        return {"channel": self.name, "buffered": self.buffer.available(),
+                "capacity": self.buffer.capacity,
+                "high_watermark": self.buffer.high_watermark}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Channel {self.name!r} cap={self.buffer.capacity}>"

@@ -283,6 +283,33 @@ class Network:
                 g.add_edge(src, dst, channel=ch.name, capacity=ch.capacity)
         return g
 
+    def channel_map(self) -> dict:
+        """Producer/consumer names per channel, as a plain dict.
+
+        The profiler's analyzer wants exactly the edge information
+        :meth:`graph` computes, but as a picklable structure with no
+        networkx dependency: ``{channel: {"producer", "consumer",
+        "capacity"}}`` (either end ``None`` when untracked, e.g. a channel
+        stretched to another server).
+        """
+        producers: dict[str, str] = {}
+        consumers: dict[str, str] = {}
+        for p in self._leaf_processes():
+            for s in p.output_streams:
+                ch = getattr(s, "channel", None)
+                if ch is not None:
+                    producers[ch.name] = p.name
+            for s in p.input_streams:
+                ch = getattr(s, "channel", None)
+                if ch is not None:
+                    consumers[ch.name] = p.name
+        with self._lock:
+            channels = list(self.channels)
+        return {ch.name: {"producer": producers.get(ch.name),
+                          "consumer": consumers.get(ch.name),
+                          "capacity": ch.capacity}
+                for ch in channels}
+
     def has_undirected_cycle(self) -> bool:
         """True if the program graph has an undirected cycle.
 

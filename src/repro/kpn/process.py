@@ -247,8 +247,10 @@ class IterativeProcess(Process):
         abandoned = False
         traced = _telemetry.enabled
         if traced:
+            # `process` repeats the span name so kpn.process / kpn.block /
+            # kpn.channel events are all joinable on the same arg key
             _telemetry.begin(self.name, category="kpn.process",
-                             kind=type(self).__name__)
+                             kind=type(self).__name__, process=self.name)
             _telemetry.inc("kpn.process.started")
         reason = "limit"
         try:
@@ -282,7 +284,8 @@ class IterativeProcess(Process):
             # closing them here would sever the moved process's channels.
             if traced:
                 _telemetry.end(self.name, category="kpn.process",
-                               reason=reason, steps=self.steps_completed)
+                               reason=reason, steps=self.steps_completed,
+                               process=self.name)
                 _telemetry.inc("kpn.process.terminated", 1, reason=reason)
 
 
@@ -326,7 +329,7 @@ class CompositeProcess(Process):
         if traced:
             _telemetry.begin(self.name, category="kpn.process",
                              kind=type(self).__name__,
-                             members=len(self.processes))
+                             members=len(self.processes), process=self.name)
         threads = []
         for p in self.processes:
             if p.network is None:
@@ -344,7 +347,7 @@ class CompositeProcess(Process):
             self.failure = failures[0].failure
         if traced:
             _telemetry.end(self.name, category="kpn.process",
-                           failures=len(failures))
+                           failures=len(failures), process=self.name)
 
     def close_all_streams(self) -> None:
         super().close_all_streams()

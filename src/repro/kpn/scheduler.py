@@ -253,7 +253,11 @@ class DeadlockMonitor:
                 f"channel {buffer.name!r} already at max capacity {old}", names)
             self.network.shutdown()
             return
-        buffer.grow(new)
+        # grow() emits the channel.grow instant from *this* monitor thread;
+        # hand it the blocked writer's name so the profiler can attribute
+        # the growth to the process it unblocks.
+        writers = sorted(t.name for b, t in write_waits if b is buffer)
+        buffer.grow(new, process=writers[0] if writers else "")
         event = GrowthEvent(buffer.name, old, new, names)
         self.growth_events.append(event)
         if _telemetry.enabled:

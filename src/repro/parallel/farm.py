@@ -107,7 +107,7 @@ def build_farm(producer_task: Any, n_workers: int = 1, mode: str = "dynamic",
                         results_ch.get_output_stream(), n_workers,
                         network=net, slowdowns=slowdowns,
                         channel_capacity=channel_capacity,
-                        executor=executor)
+                        executor=executor, prefix=f"farm-{fid}-")
         if cluster is not None:
             harness.distribute(cluster)
             harness.add_local_to(net)

@@ -164,7 +164,7 @@ def meta_static(tasks_in, results_out, n_workers: int,
                 worker_factory: Optional[WorkerFactory] = None,
                 slowdowns: Optional[List[float]] = None,
                 channel_capacity: Optional[int] = None,
-                executor=None) -> ParallelHarness:
+                executor=None, prefix: str = "") -> ParallelHarness:
     """Build the statically balanced composition of Figure 16.
 
     ``tasks_in`` / ``results_out`` are the channel endpoints that would
@@ -175,8 +175,13 @@ def meta_static(tasks_in, results_out, n_workers: int,
     factory = worker_factory or _default_worker_factory(slowdowns, executor)
     mk = (network.channel if network is not None
           else lambda cap=None, name="": Channel(cap or 1024, name=name))
-    w_in = [mk(channel_capacity, name=f"static-in-{i}") for i in range(n_workers)]
-    w_out = [mk(channel_capacity, name=f"static-out-{i}") for i in range(n_workers)]
+    # `prefix` (e.g. "farm-3-") keeps internal channel labels unique when
+    # several farms share one telemetry stream — the profiler and trace
+    # viewers join events on the channel name
+    w_in = [mk(channel_capacity, name=f"{prefix}static-in-{i}")
+            for i in range(n_workers)]
+    w_out = [mk(channel_capacity, name=f"{prefix}static-out-{i}")
+             for i in range(n_workers)]
     harness = ParallelHarness()
     harness.plumbing.append(
         Scatter(tasks_in, [c.get_output_stream() for c in w_in], name="Scatter"))
@@ -194,7 +199,7 @@ def meta_dynamic(tasks_in, results_out, n_workers: int,
                  worker_factory: Optional[WorkerFactory] = None,
                  slowdowns: Optional[List[float]] = None,
                  channel_capacity: Optional[int] = None,
-                 executor=None) -> ParallelHarness:
+                 executor=None, prefix: str = "") -> ParallelHarness:
     """Build the dynamically balanced composition of Figures 17–18.
 
     Internal graph::
@@ -210,12 +215,15 @@ def meta_dynamic(tasks_in, results_out, n_workers: int,
     factory = worker_factory or _default_worker_factory(slowdowns, executor)
     mk = (network.channel if network is not None
           else lambda cap=None, name="": Channel(cap or 1024, name=name))
-    w_in = [mk(channel_capacity, name=f"dyn-in-{i}") for i in range(n_workers)]
-    w_out = [mk(channel_capacity, name=f"dyn-out-{i}") for i in range(n_workers)]
-    pairs = mk(channel_capacity, name="dyn-pairs")
-    idx_turn = mk(channel_capacity, name="dyn-idx-turnstile")
-    idx_seed = mk(max(channel_capacity or 1024, 4 * n_workers), name="dyn-idx-seed")
-    idx_direct = mk(channel_capacity, name="dyn-idx-direct")
+    w_in = [mk(channel_capacity, name=f"{prefix}dyn-in-{i}")
+            for i in range(n_workers)]
+    w_out = [mk(channel_capacity, name=f"{prefix}dyn-out-{i}")
+             for i in range(n_workers)]
+    pairs = mk(channel_capacity, name=f"{prefix}dyn-pairs")
+    idx_turn = mk(channel_capacity, name=f"{prefix}dyn-idx-turnstile")
+    idx_seed = mk(max(channel_capacity or 1024, 4 * n_workers),
+                  name=f"{prefix}dyn-idx-seed")
+    idx_direct = mk(channel_capacity, name=f"{prefix}dyn-idx-direct")
     harness = ParallelHarness()
     # initial dispatch sequence 0..N-1, then completion order (process (n))
     harness.plumbing.append(

@@ -7,7 +7,10 @@
 * :mod:`repro.telemetry.clock` — NTP-style clock-offset estimation that
   maps every server's hub clock onto one cluster timeline;
 * :mod:`repro.telemetry.distributed` — trace-context propagation across
-  the wire, merged multi-node traces, and the ``repro top`` renderer.
+  the wire, merged multi-node traces, and the ``repro top`` renderer;
+* :mod:`repro.telemetry.profile` — the continuous KPN profiler behind
+  the :data:`PROFILER` accounting layer (blocked-time attribution,
+  bottleneck analysis, the buffer-capacity advisor).
 
 Quickstart::
 
@@ -23,18 +26,23 @@ Quickstart::
 from repro.telemetry.core import (Event, HistogramData, TELEMETRY,
                                   TelemetryHub, render_key)
 from repro.telemetry.export import (chrome_trace, cluster_report,
-                                    merge_counters, prometheus_text,
-                                    write_chrome_trace)
+                                    merge_counters, profile_gauges,
+                                    prometheus_text, write_chrome_trace)
 from repro.telemetry.clock import OffsetEstimate, ProbeSample, estimate_offset
+from repro.telemetry.profile import (PROFILER, Profiler, analyze, fold_stacks,
+                                     merge_profiles, process_utilization,
+                                     render_profile, write_capacity_spec)
 from repro.telemetry.distributed import (TraceContext, current_context,
                                          event_to_dict, merge_node_traces,
                                          render_top, write_merged_trace)
 
 __all__ = [
     "Event", "HistogramData", "TELEMETRY", "TelemetryHub", "render_key",
-    "chrome_trace", "cluster_report", "merge_counters", "prometheus_text",
-    "write_chrome_trace",
+    "chrome_trace", "cluster_report", "merge_counters", "profile_gauges",
+    "prometheus_text", "write_chrome_trace",
     "OffsetEstimate", "ProbeSample", "estimate_offset",
+    "PROFILER", "Profiler", "analyze", "fold_stacks", "merge_profiles",
+    "process_utilization", "render_profile", "write_capacity_spec",
     "TraceContext", "current_context", "event_to_dict", "merge_node_traces",
     "render_top", "write_merged_trace",
 ]

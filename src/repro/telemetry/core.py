@@ -201,7 +201,10 @@ class TelemetryHub:
         self._events: deque[Event] = deque(maxlen=max_events)
         self._counters: Dict[Tuple[str, LabelItems], float] = {}
         self._hists: Dict[Tuple[str, LabelItems], HistogramData] = {}
-        self._subscribers: List[Callable[[Event], None]] = []
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        #: immutable tuple, replaced wholesale on (un)subscribe so _emit
+        #: can read it without copying — one attribute read per event
+        self._subscribers: Tuple[Callable[[Event], None], ...] = ()
         self._t0 = time.monotonic()
         #: total events ever emitted (survives ring-buffer eviction)
         self.events_emitted = 0
@@ -223,6 +226,7 @@ class TelemetryHub:
             self._events.clear()
             self._counters.clear()
             self._hists.clear()
+            self._gauges.clear()
             self._t0 = time.monotonic()
             self.events_emitted = 0
         return self
@@ -256,7 +260,7 @@ class TelemetryHub:
         with self._lock:
             self._events.append(event)
             self.events_emitted += 1
-            subscribers = list(self._subscribers) if self._subscribers else ()
+        subscribers = self._subscribers
         # Outside the lock: a subscriber may itself query the hub.  Note
         # that emit sites inside buffer critical sections still hold the
         # *buffer* lock here, so subscribers must never touch channels —
@@ -305,15 +309,13 @@ class TelemetryHub:
         """Register ``callback`` for every subsequent event; returns it
         (handy for later :meth:`unsubscribe`)."""
         with self._lock:
-            self._subscribers.append(callback)
+            self._subscribers = self._subscribers + (callback,)
         return callback
 
     def unsubscribe(self, callback: Callable[[Event], None]) -> None:
         with self._lock:
-            try:
-                self._subscribers.remove(callback)
-            except ValueError:
-                pass
+            self._subscribers = tuple(
+                cb for cb in self._subscribers if cb is not callback)
 
     def events(self) -> List[Event]:
         """Snapshot of the ring buffer, oldest first."""
@@ -341,6 +343,23 @@ class TelemetryHub:
             if hist is None:
                 hist = self._hists[key] = HistogramData()
             hist.observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name`` with ``labels`` (last write wins).
+
+        Gauges are sampled values — channel occupancy, process
+        utilization — where summing across scrapes would be meaningless.
+        """
+        if not self.enabled:
+            return
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._gauges[key] = value
+
+    def gauges(self) -> Dict[str, float]:
+        """Consistent flat snapshot: ``{rendered_key: value}``."""
+        with self._lock:
+            return {render_key(n, l): v for (n, l), v in self._gauges.items()}
 
     def counter(self, name: str, **labels: Any) -> float:
         """Current value of one counter (0 if never incremented)."""

@@ -232,9 +232,13 @@ def render_top(rows: Sequence[Mapping[str, Any]],
                show_blocked: bool = True) -> str:
     """The ``repro top`` screen as a string (pure; testable).
 
-    Each row is ``{"name", "stats", "snapshot", "counters"}`` — the
-    ``stats`` / ``wait_snapshot`` / ``metrics`` replies for one server
-    (any of the last three may be None if the call failed).
+    Each row is ``{"name", "stats", "snapshot", "counters", "profile"}`` —
+    the ``stats`` / ``wait_snapshot`` / ``metrics`` replies for one server
+    (any of the last four may be None if the call failed).  ``profile`` is
+    a :meth:`Profiler.snapshot` dict; when present, each hosted process
+    gets a state line (running / read-blocked / write-blocked with the
+    channel name, plus utilization) sourced from the profiler's
+    accounting rather than the instantaneous wait snapshot.
     """
     widths = (14, 7, 7, 7, 5, 5, 6, 6, 9, 6)
     header = " ".join(f"{c:>{w}}" for c, w in zip(_TOP_COLUMNS, widths))
@@ -266,6 +270,18 @@ def render_top(rows: Sequence[Mapping[str, Any]],
                 details.append(f"  {name}: {b.get('thread')} blocked-"
                                f"{b.get('mode')} on {b.get('channel')} "
                                f"({fill})")
+        profile = row.get("profile") or {}
+        if profile.get("processes"):
+            from repro.telemetry.profile import process_utilization
+
+            utils = process_utilization(profile)
+            for pname in sorted(profile["processes"]):
+                p = profile["processes"][pname]
+                state = p.get("state") or "?"
+                if p.get("channel"):
+                    state = f"{state} on {p['channel']}"
+                details.append(f"  {name}: proc {pname:<18} {state:<32} "
+                               f"util {utils.get(pname, 0.0):6.1%}")
         shares = _worker_shares(row.get("counters") or {})
         for worker, share in shares.items():
             details.append(f"  {name}: load {worker} "

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional
 from repro.telemetry.core import TELEMETRY, Event, HistogramData, parse_key
 
 __all__ = ["chrome_trace", "write_chrome_trace", "prometheus_text",
-           "merge_counters", "cluster_report"]
+           "profile_gauges", "merge_counters", "cluster_report"]
 
 
 # ---------------------------------------------------------------------------
@@ -107,8 +107,10 @@ def _as_histogram(data) -> HistogramData:
 
 def prometheus_text(counters: Optional[Mapping[str, float]] = None,
                     prefix: str = "repro",
-                    histograms: Optional[Mapping[str, object]] = None) -> str:
-    """Render counter + histogram snapshots in the Prometheus text format.
+                    histograms: Optional[Mapping[str, object]] = None,
+                    gauges: Optional[Mapping[str, float]] = None) -> str:
+    """Render counter + histogram + gauge snapshots in the Prometheus
+    text format.
 
     ``counters`` is a flat ``{rendered_key: value}`` snapshot (the shape
     :meth:`TelemetryHub.counters` and the ``metrics`` RPC op produce);
@@ -117,12 +119,17 @@ def prometheus_text(counters: Optional[Mapping[str, float]] = None,
     :meth:`~HistogramData.snapshot` dicts (what the ``metrics`` op ships)
     and defaults to the global hub's histograms when ``counters`` is
     defaulted too; each becomes a ``summary`` block with p50/p95/p99
-    quantile lines plus ``_sum`` and ``_count``.
+    quantile lines plus ``_sum`` and ``_count``.  ``gauges`` is a flat
+    snapshot like ``counters`` (:meth:`TelemetryHub.gauges` or
+    :func:`profile_gauges` output), rendered as ``gauge`` blocks; it also
+    defaults to the hub's when ``counters`` is defaulted.
     """
     if counters is None:
         counters = TELEMETRY.counters()
         if histograms is None:
             histograms = TELEMETRY.histograms()
+        if gauges is None:
+            gauges = TELEMETRY.gauges()
     hists: Dict[str, tuple] = {}
     hist_names: set = set()
     for key, data in (histograms or {}).items():
@@ -150,6 +157,19 @@ def prometheus_text(counters: Optional[Mapping[str, float]] = None,
                 lines.append(f"{prom}{{{inner}}} {value:g}")
             else:
                 lines.append(f"{prom} {value:g}")
+    gauge_by_name: Dict[str, List[tuple]] = {}
+    for key, value in (gauges or {}).items():
+        name, labels = parse_key(key)
+        gauge_by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(gauge_by_name):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        for labels, value in sorted(gauge_by_name[name]):
+            if labels:
+                inner = ",".join(f'{k}="{v}"' for k, v in labels)
+                lines.append(f"{prom}{{{inner}}} {value:g}")
+            else:
+                lines.append(f"{prom} {value:g}")
     for name in sorted(hists):
         prom = _prom_name(name, prefix)
         lines.append(f"# TYPE {prom} summary")
@@ -163,6 +183,30 @@ def prometheus_text(counters: Optional[Mapping[str, float]] = None,
             lines.append(f"{prom}_sum{braces} {hist.total:g}")
             lines.append(f"{prom}_count{braces} {hist.count:g}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profile_gauges(snapshot: Mapping[str, object]) -> Dict[str, float]:
+    """Flat gauge snapshot derived from a profiler snapshot.
+
+    Lets a shipped (or merged) :meth:`Profiler.snapshot` dict be rendered
+    as Prometheus gauges even when the originating hub is out of reach:
+    per-channel occupancy/capacity/high-watermark and per-process
+    utilization, keyed exactly like :meth:`TelemetryHub.gauges` output.
+    """
+    from repro.telemetry.profile import process_utilization
+
+    out: Dict[str, float] = {}
+    for cname, c in (snapshot.get("channels") or {}).items():
+        for field, metric in (("buffered", "kpn.channel.occupancy_bytes"),
+                              ("capacity", "kpn.channel.capacity_bytes"),
+                              ("high_watermark",
+                               "kpn.channel.high_watermark_bytes")):
+            value = c.get(field)
+            if value is not None:
+                out[f'{metric}{{channel={cname}}}'] = float(value)
+    for pname, util in process_utilization(snapshot).items():
+        out[f'kpn.process.utilization{{process={pname}}}'] = round(util, 4)
+    return out
 
 
 # ---------------------------------------------------------------------------

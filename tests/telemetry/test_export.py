@@ -171,3 +171,45 @@ def test_cluster_report_top_limits_rows():
     report = cluster_report(per, top=3)
     body = report.splitlines()[1:]
     assert len(body) == 3
+
+
+# ---------------------------------------------------------------------------
+# gauges (profiler surface)
+# ---------------------------------------------------------------------------
+
+def test_prometheus_text_renders_gauges():
+    text = prometheus_text(
+        counters={},
+        gauges={"kpn.channel.occupancy_bytes{channel=pipe}": 96.0,
+                "kpn.process.utilization{process=Sink}": 0.25})
+    assert "# TYPE repro_kpn_channel_occupancy_bytes gauge" in text
+    assert 'repro_kpn_channel_occupancy_bytes{channel="pipe"} 96' in text
+    assert 'repro_kpn_process_utilization{process="Sink"} 0.25' in text
+
+
+def test_prometheus_text_defaults_include_hub_gauges(hub):
+    hub.set_gauge("kpn.channel.occupancy_bytes", 7, channel="c")
+    text = prometheus_text()
+    assert 'repro_kpn_channel_occupancy_bytes{channel="c"} 7' in text
+
+
+def test_profile_gauges_from_snapshot():
+    from repro.telemetry.export import profile_gauges
+
+    snap = {"node": "n", "pid": 1, "t": 10.0,
+            "processes": {"P": {"kind": "k", "state": "done",
+                                "channel": None, "running_s": 5.0,
+                                "blocked": {"read:c": 5.0},
+                                "started": 0.0, "finished": 10.0}},
+            "channels": {"c": {"initial_capacity": 64, "grown_to": None,
+                               "grow_events": 0, "growers": [],
+                               "buffered": 16, "capacity": 64,
+                               "high_watermark": 48}}}
+    gauges = profile_gauges(snap)
+    assert gauges["kpn.channel.occupancy_bytes{channel=c}"] == 16.0
+    assert gauges["kpn.channel.capacity_bytes{channel=c}"] == 64.0
+    assert gauges["kpn.channel.high_watermark_bytes{channel=c}"] == 48.0
+    assert gauges["kpn.process.utilization{process=P}"] == 0.5
+    # renders straight through the text exporter
+    text = prometheus_text(counters={}, gauges=gauges)
+    assert 'repro_kpn_channel_high_watermark_bytes{channel="c"} 48' in text

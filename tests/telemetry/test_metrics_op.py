@@ -77,3 +77,59 @@ def test_cluster_metrics_fanout_and_merge(hub):
             assert merged.get(key, 0) >= value
     finally:
         cluster.stop()
+
+
+# ---------------------------------------------------------------------------
+# profiler snapshots over the metrics op
+# ---------------------------------------------------------------------------
+
+def test_metrics_op_profile_absent_when_profiler_off(hub, server_client):
+    _, client = server_client
+    assert client.metrics()["profile"] is None
+
+
+def test_metrics_op_ships_profile_snapshot(hub, server_client):
+    from repro.parallel import RangeProducerTask, run_farm
+    from repro.telemetry.profile import PROFILER
+
+    _, client = server_client
+    PROFILER.reset().enable()
+    try:
+        # thread-mode server shares this interpreter's profiler: local KPN
+        # activity must show up in the snapshot the op ships
+        out = run_farm(RangeProducerTask(5, lambda i: CallableTask(pow, i, 2)),
+                       n_workers=1, mode="pipeline", timeout=60)
+        assert out == [i ** 2 for i in range(5)]
+        snap = client.metrics()["profile"]
+    finally:
+        PROFILER.disable().reset()
+    assert snap is not None
+    assert snap["node"] and snap["pid"]
+    assert "Producer" in snap["processes"]
+    assert snap["processes"]["Producer"]["running_s"] >= 0.0
+
+
+def test_cluster_merged_profile_thread_mode(hub):
+    from repro.parallel import RangeProducerTask, run_farm
+    from repro.telemetry.profile import PROFILER, analyze
+
+    cluster = LocalCluster(2).start()
+    try:
+        PROFILER.reset().enable()
+        try:
+            run_farm(RangeProducerTask(5, lambda i: CallableTask(pow, i, 2)),
+                     n_workers=1, mode="pipeline", timeout=60)
+            profiles = cluster.profiles()
+            merged = cluster.merged_profile()
+        finally:
+            PROFILER.disable().reset()
+    finally:
+        cluster.stop()
+    # both servers answered, sharing one interpreter-wide profiler
+    assert set(profiles) == set(cluster.names)
+    assert all(p is not None for p in profiles.values())
+    # pid-dedupe: one snapshot contributes, process names stay unprefixed
+    assert merged["nodes"] and len(merged["nodes"]) == 1
+    assert "Producer" in merged["processes"]
+    report = analyze(merged)
+    assert report["processes"]

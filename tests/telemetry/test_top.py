@@ -80,3 +80,40 @@ def test_cli_top_marks_unreachable_servers(capsys):
     assert rc == 0
     err = capsys.readouterr().err
     assert "UNREACHABLE" in err
+
+
+def test_render_top_shows_profile_state_column():
+    rows = [{
+        "name": "gamma",
+        "stats": {"uptime_seconds": 10.0, "tasks_run": 0,
+                  "processes_hosted": 2, "live_threads": 2, "channels": 1,
+                  "telemetry_enabled": True, "failures": []},
+        "snapshot": {"blocked": []},
+        "counters": {},
+        "profile": {
+            "node": "gamma", "pid": 1, "t": 10.0,
+            "processes": {
+                "Fast": {"kind": "k", "state": "running", "channel": None,
+                         "running_s": 9.0, "blocked": {},
+                         "started": 0.0, "finished": None},
+                "Stuck": {"kind": "k", "state": "write-blocked",
+                          "channel": "out", "running_s": 1.0,
+                          "blocked": {"write:out": 9.0},
+                          "started": 0.0, "finished": None}},
+            "channels": {}},
+    }]
+    screen = render_top(rows)
+    assert "proc Fast" in screen and "running" in screen
+    assert "proc Stuck" in screen
+    assert "write-blocked on out" in screen
+    assert "90.0%" in screen and "10.0%" in screen   # per-process utilization
+
+
+def test_render_top_without_profile_row_unchanged():
+    rows = [{"name": "delta",
+             "stats": {"uptime_seconds": 1, "tasks_run": 0,
+                       "processes_hosted": 0, "live_threads": 0,
+                       "channels": 0, "telemetry_enabled": False,
+                       "failures": []},
+             "snapshot": {"blocked": []}, "counters": {}, "profile": None}]
+    assert "proc " not in render_top(rows)

@@ -120,3 +120,61 @@ def test_module_invocation_subprocess():
                             capture_output=True, text=True, timeout=60)
     assert result.returncode == 0
     assert result.stdout.strip()
+
+
+# ---------------------------------------------------------------------------
+# repro profile
+# ---------------------------------------------------------------------------
+
+def test_profile_command_reports_and_writes_spec(tmp_path, capsys):
+    spec_path = tmp_path / "fib-capacity.json"
+    folded_path = tmp_path / "fib.folded"
+    assert run_cli("profile", "fibonacci",
+                   "--spec-out", str(spec_path),
+                   "--folded-out", str(folded_path)) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck channels" in out
+    assert "process utilization" in out
+    assert "root cause" in out or "no blocked time" in out
+    import json
+
+    spec = json.loads(spec_path.read_text())
+    assert spec["version"] == 1 and spec["channels"]
+    for rec in spec["channels"].values():
+        assert rec["initial_capacity"] > 0 and rec["reason"]
+    assert folded_path.exists()
+
+
+def test_profile_command_leaves_instrumentation_off(tmp_path):
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.profile import PROFILER
+
+    assert run_cli("profile", "primes",
+                   "--spec-out", str(tmp_path / "p.json")) == 0
+    assert not TELEMETRY.enabled
+    assert not PROFILER.enabled
+    assert not TELEMETRY.events()
+
+
+def test_profile_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["profile", "nonsense"])
+
+
+def test_metrics_command_renders_profile_gauges(capsys):
+    from repro.distributed.server import ComputeServer
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.profile import PROFILER
+
+    TELEMETRY.reset().enable()
+    PROFILER.reset().enable()
+    server = ComputeServer(name="cli-gauges").start()
+    try:
+        TELEMETRY.set_gauge("kpn.channel.occupancy_bytes", 5, channel="x")
+        assert run_cli("metrics", f"127.0.0.1:{server.port}") == 0
+    finally:
+        server.stop()
+        PROFILER.disable().reset()
+        TELEMETRY.disable().reset()
+    out = capsys.readouterr().out
+    assert 'repro_kpn_channel_occupancy_bytes{channel="x"} 5' in out
