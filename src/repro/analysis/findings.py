@@ -1,0 +1,80 @@
+"""The common finding record shared by every ``repro lint`` pass.
+
+All three analyses (AST lint, race detection, graph proofs) report
+:class:`Finding` rows so the CLI can render one table and one JSON
+document regardless of which pass produced a result.
+
+Severities:
+
+``error``
+    a determinacy/soundness hazard; fails the lint run.
+``warning``
+    a risk the analysis could not discharge; fails the lint run.
+``info``
+    a discharged proof or neutral observation; never fails the run.
+``declared``
+    a hazard inside a component explicitly marked
+    ``@nondeterminate("reason")`` — reported for visibility but exempt
+    from the exit code (the component opted out of Kahn semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Finding", "FAILING_SEVERITIES", "JSON_SCHEMA_VERSION",
+           "sort_findings", "summarize"]
+
+#: severities that make ``repro lint`` exit non-zero
+FAILING_SEVERITIES = ("error", "warning")
+
+#: bumped whenever the ``repro lint --json`` document shape changes
+JSON_SCHEMA_VERSION = 1
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "declared": 2, "info": 3}
+
+
+@dataclass
+class Finding:
+    """One result row from a static-analysis pass."""
+
+    rule: str                       #: short rule code, e.g. ``poll``
+    severity: str                   #: error | warning | info | declared
+    message: str                    #: human-readable description
+    analysis: str                   #: astlint | races | graph
+    subject: str = ""               #: class / process / channel name
+    file: Optional[str] = None      #: source file, when known
+    line: Optional[int] = None      #: 1-based source line, when known
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "analysis": self.analysis,
+            "subject": self.subject,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def __str__(self) -> str:
+        where = ""
+        if self.file:
+            where = f"{self.file}:{self.line or 0}: "
+        subject = f" ({self.subject})" if self.subject else ""
+        return f"{where}[{self.severity}:{self.rule}] {self.message}{subject}"
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Errors first, then warnings, declared, info; stable within a tier."""
+    return sorted(findings,
+                  key=lambda f: _SEVERITY_ORDER.get(f.severity, 9))
+
+
+def summarize(findings: List[Finding]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0, "declared": 0}
+    for f in findings:
+        counts[f.severity] = counts.get(f.severity, 0) + 1
+    counts["failing"] = sum(counts.get(s, 0) for s in FAILING_SEVERITIES)
+    return counts

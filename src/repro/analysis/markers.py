@@ -1,0 +1,58 @@
+"""The ``@nondeterminate`` escape hatch.
+
+The paper admits exactly one deliberately non-determinate component (the
+Turnstile of Figures 17-18, whose merge order "depends in part on the
+ordering of events in the execution environment").  Components like it
+must opt out of the Kahn-semantics lint *explicitly and with a reason*,
+so the linter can keep every undeclared hazard a hard failure while the
+declared ones remain visible in reports:
+
+    @nondeterminate("arrival-order merge; composite is well behaved")
+    class Turnstile(IterativeProcess):
+        ...
+
+This module has no dependencies beyond the stdlib so that runtime code
+(e.g. :mod:`repro.processes.routing`) can import the decorator without
+pulling in the analysis passes' heavier imports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TypeVar
+
+__all__ = ["nondeterminate", "declared_nondeterminate", "NONDETERMINATE_ATTR"]
+
+#: attribute the decorator stores the reason under
+NONDETERMINATE_ATTR = "__kpn_nondeterminate__"
+
+_T = TypeVar("_T")
+
+
+def nondeterminate(reason: str):
+    """Class/function decorator declaring intentional non-determinacy.
+
+    ``reason`` is mandatory: an opt-out without a recorded justification
+    is indistinguishable from a silenced bug.
+    """
+    if not isinstance(reason, str) or not reason.strip():
+        raise TypeError("@nondeterminate requires a non-empty reason string")
+
+    def mark(obj: _T) -> _T:
+        setattr(obj, NONDETERMINATE_ATTR, reason)
+        return obj
+
+    return mark
+
+
+def declared_nondeterminate(obj: Any) -> Optional[str]:
+    """The declared reason, or None when ``obj`` claims Kahn semantics.
+
+    For classes, only the class's own declaration counts (not an
+    inherited one): a subclass of a nondeterminate class must opt out on
+    its own or face the lint.
+    """
+    if isinstance(obj, type):
+        reason = obj.__dict__.get(NONDETERMINATE_ATTR)
+    else:
+        reason = getattr(obj, NONDETERMINATE_ATTR, None)
+    return None if reason is None else str(reason)

@@ -15,6 +15,10 @@ top             live refreshing view of per-server cluster state
 experiment      regenerate table1 / table2 / fig19 / fig20 on the simulator
 example         run one of the bundled examples by name
 check           build a figure network and run the consistency checker
+                (``--strict`` also fails on warnings)
+lint            Kahn-semantics static analyzer: AST process lint,
+                shared-state race detection, deadlock/boundedness proofs
+                over files, directories, figure networks, or modules
 profile         run an example network under the continuous profiler:
                 ranked bottleneck report, per-process utilization,
                 capacity-advisor spec, optional folded stacks
@@ -109,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check",
                              help="consistency-check a figure network")
     p_check.add_argument("which", choices=CHECKABLE)
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit non-zero on warnings as well as errors")
+
+    p_lint = sub.add_parser(
+        "lint", help="Kahn-semantics static analysis (AST lint, race "
+                     "detection, deadlock/boundedness proofs)")
+    p_lint.add_argument(
+        "targets", nargs="+",
+        help="what to lint: a source file or directory (AST pass only), "
+             f"a figure network name {CHECKABLE} (all three passes on the "
+             "built graph), or an importable module name")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable output (schema documented "
+                             "in docs/analysis.md)")
 
     p_prof = sub.add_parser(
         "profile", help="run a figure network under the continuous "
@@ -358,7 +376,74 @@ def _cmd_check(args) -> int:
         print("no findings: graph is clean")
     for issue in issues:
         print(issue)
-    return 1 if any(i.severity == "error" for i in issues) else 0
+    failing = {"error", "warning"} if getattr(args, "strict", False) \
+        else {"error"}
+    return 1 if any(i.severity in failing for i in issues) else 0
+
+
+def _lint_builders():
+    from repro.processes import (fibonacci, hamming, modulo_merge,
+                                 newton_sqrt, primes)
+
+    return {
+        "fibonacci": lambda: fibonacci(10),
+        "primes": lambda: primes(count=10),
+        "hamming": lambda: hamming(10),
+        "newton": lambda: newton_sqrt(2.0),
+        "fig13": lambda: modulo_merge(50, 10),
+    }
+
+
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import (JSON_SCHEMA_VERSION, lint_network,
+                                lint_paths, sort_findings, summarize)
+    from repro.analysis.astlint import lint_file
+
+    findings = []
+    for target in args.targets:
+        if os.path.exists(target):
+            findings.extend(lint_paths([target]))
+        elif target in CHECKABLE:
+            findings.extend(lint_network(_lint_builders()[target]().network))
+        else:
+            import importlib
+            try:
+                module = importlib.import_module(target)
+            except ImportError as exc:
+                print(f"lint: cannot resolve {target!r}: not a path, a "
+                      f"figure network, or an importable module ({exc})",
+                      file=sys.stderr)
+                return 2
+            source = getattr(module, "__file__", None)
+            if not source or not os.path.exists(source):
+                print(f"lint: module {target!r} has no source file",
+                      file=sys.stderr)
+                return 2
+            findings.extend(lint_file(source))
+    findings = sort_findings(findings)
+    summary = summarize(findings)
+    if args.json:
+        print(json.dumps({
+            "schema_version": JSON_SCHEMA_VERSION,
+            "targets": list(args.targets),
+            "findings": [f.to_dict() for f in findings],
+            "summary": summary,
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f)
+        if not findings:
+            print("no findings: all processes look determinate")
+        else:
+            parts = ", ".join(
+                f"{summary[s]} {s}"
+                for s in ("error", "warning", "declared", "info")
+                if summary.get(s))
+            print(f"-- {parts}")
+    return 1 if summary["failing"] else 0
 
 
 def _profile_target(args):
@@ -434,6 +519,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "example": _cmd_example,
     "check": _cmd_check,
+    "lint": _cmd_lint,
     "profile": _cmd_profile,
     "version": _cmd_version,
 }

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.kpn.buffers import BlockAccounting, BoundedByteBuffer, DEFAULT_CAPACITY
 from repro.telemetry.core import TELEMETRY as _telemetry

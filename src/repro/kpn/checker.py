@@ -15,9 +15,12 @@ before it starts, with zero run-time cost.  Checks:
   (which would self-deadlock on capacity);
 * **connectivity** — every channel has both a producer and a consumer
   among the network's processes (dangling ends stall or leak);
-* **boundedness risk** — undirected cycles flagged (section 3.5: graphs
-  without them are safe at default capacities), with a note when the
-  deadlock monitor is disabled;
+* **boundedness & deadlock proofs** — directed-cycle analysis with
+  initial-token accounting (:mod:`repro.analysis.graphproofs`): cycles in
+  which every hop blocks on an empty, token-free channel are reported as
+  guaranteed deadlocks; graphs proved bounded (acyclic, or rate-balanced
+  with every feedback loop carrying an initial token) get the blanket
+  undirected-cycle warning downgraded to ``cycle-proved-bounded``;
 * **termination plausibility** — a network whose sources and sinks are
   all unbounded is flagged as intentionally non-terminating (fine for
   signal processing, surprising in a test).
@@ -29,7 +32,7 @@ Violations come back as :class:`Issue` records; ``strict=True`` raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List
 
 from repro.kpn.network import Network
 from repro.kpn.process import CompositeProcess, IterativeProcess, Process
@@ -69,6 +72,17 @@ def _leaves(network: Network) -> List[Process]:
     return out
 
 
+def _composites(network: Network) -> List[CompositeProcess]:
+    out: List[CompositeProcess] = []
+    pending = list(network.processes)
+    while pending:
+        p = pending.pop()
+        if isinstance(p, CompositeProcess):
+            out.append(p)
+            pending.extend(p.processes)
+    return out
+
+
 def check_network(network: Network, strict: bool = False) -> List[Issue]:
     """Validate the graph; returns all findings (errors first).
 
@@ -89,6 +103,28 @@ def check_network(network: Network, strict: bool = False) -> List[Issue]:
             ch = getattr(s, "channel", None)
             if ch is not None:
                 consumers.setdefault(ch.name, []).append(p.name)
+
+    # Boundary streams tracked on a CompositeProcess itself (rather than on
+    # one of its members) still connect the channel: count the composite as
+    # the endpoint owner, but only for channels no leaf already covers —
+    # a composite re-tracking a member's stream is not a second producer.
+    comp_producers: Dict[str, List[str]] = {}
+    comp_consumers: Dict[str, List[str]] = {}
+    for comp in _composites(network):
+        for s in comp.output_streams:
+            ch = getattr(s, "channel", None)
+            if ch is not None:
+                comp_producers.setdefault(ch.name, []).append(comp.name)
+        for s in comp.input_streams:
+            ch = getattr(s, "channel", None)
+            if ch is not None:
+                comp_consumers.setdefault(ch.name, []).append(comp.name)
+    for name, owners in comp_producers.items():
+        if name not in producers:
+            producers[name] = owners
+    for name, owners in comp_consumers.items():
+        if name not in consumers:
+            consumers[name] = owners
 
     # single producer / single consumer
     for name, owners in producers.items():
@@ -132,22 +168,56 @@ def check_network(network: Network, strict: bool = False) -> List[Issue]:
                                 f"channel {ch.name!r} is written by "
                                 f"{producers[ch.name]} but never read"))
 
-    # boundedness risk
+    # boundedness risk, with directed-cycle + initial-token proofs where
+    # the declared process contracts allow them
+    proof = None
     try:
-        if network.has_undirected_cycle():
-            if network.monitor is None:
+        from repro.analysis.graphproofs import prove_graph
+        proof = prove_graph(network)
+    except Exception:
+        pass  # graph export can fail on exotic endpoint layering
+    if proof is not None:
+        for cycle in proof.proved_deadlocks:
+            path = " -> ".join(cycle.processes + (cycle.processes[0],))
+            issues.append(Issue(
+                "error", "proved-deadlock",
+                f"directed cycle {path} is a guaranteed deadlock: "
+                f"{cycle.reason}"))
+        if proof.has_undirected_cycle:
+            if proof.bounded:
+                issues.append(Issue(
+                    "info", "cycle-proved-bounded",
+                    "graph has an undirected cycle but is proved bounded: "
+                    f"{proof.bounded_reason}"))
+            elif network.monitor is None:
                 issues.append(Issue(
                     "warning", "cycle-unbounded-monitorless",
-                    "graph has an undirected cycle and the deadlock "
-                    "monitor is disabled: bounded channels may deadlock "
-                    "with no recovery (section 3.5)"))
+                    "graph has an undirected cycle with no boundedness "
+                    "proof and the deadlock monitor is disabled: bounded "
+                    "channels may deadlock with no recovery (section 3.5)"))
             else:
                 issues.append(Issue(
                     "info", "cycle",
-                    "graph has an undirected cycle; default capacities may "
-                    "need growth (handled by the deadlock monitor)"))
-    except Exception:
-        pass  # graph export can fail on exotic endpoint layering
+                    "graph has an undirected cycle with no boundedness "
+                    "proof; default capacities may need growth (handled by "
+                    "the deadlock monitor)"))
+    else:
+        # proof unavailable: fall back to the blanket undirected-cycle flag
+        try:
+            if network.has_undirected_cycle():
+                if network.monitor is None:
+                    issues.append(Issue(
+                        "warning", "cycle-unbounded-monitorless",
+                        "graph has an undirected cycle and the deadlock "
+                        "monitor is disabled: bounded channels may deadlock "
+                        "with no recovery (section 3.5)"))
+                else:
+                    issues.append(Issue(
+                        "info", "cycle",
+                        "graph has an undirected cycle; default capacities "
+                        "may need growth (handled by the deadlock monitor)"))
+        except Exception:
+            pass
 
     # termination plausibility
     bounded = any(isinstance(p, IterativeProcess) and p.iterations > 0

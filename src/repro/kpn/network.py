@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.errors import DeadlockError
 from repro.kpn.buffers import BlockAccounting, DEFAULT_CAPACITY
@@ -135,7 +135,27 @@ class Network:
         finally:
             self._kick_monitor()
 
-    def start(self) -> "Network":
+    def preflight(self) -> None:
+        """Static pre-flight: graph consistency, proofs, and race scan.
+
+        Runs :func:`repro.kpn.checker.check_network` in strict mode —
+        which includes the directed-cycle deadlock/boundedness proofs —
+        and the shared-state race detector, raising
+        :class:`~repro.kpn.checker.GraphConsistencyError` on any error.
+        Opt-in via ``start(lint=True)`` / ``run(lint=True)``.
+        """
+        from repro.analysis.races import detect_races
+        from repro.kpn.checker import GraphConsistencyError, Issue, check_network
+
+        issues = [i for i in check_network(self) if i.severity == "error"]
+        for race in detect_races(self):
+            issues.append(Issue("error", "shared-state", race.describe()))
+        if issues:
+            raise GraphConsistencyError(issues)
+
+    def start(self, lint: bool = False) -> "Network":
+        if lint:
+            self.preflight()
         with self._lock:
             if self._started:
                 raise RuntimeError("network already started")
@@ -202,9 +222,9 @@ class Network:
         self.raise_failures()
         return True
 
-    def run(self, timeout: Optional[float] = None) -> bool:
+    def run(self, timeout: Optional[float] = None, lint: bool = False) -> bool:
         """``start()`` + ``join()``; the one-liner most programs need."""
-        self.start()
+        self.start(lint=lint)
         return self.join(timeout=timeout)
 
     def raise_failures(self) -> None:

@@ -35,7 +35,7 @@ import struct
 from typing import Any
 
 from repro.errors import ChannelError, EndOfStreamError
-from repro.kpn.data import DataInputStream, DataOutputStream
+from repro.kpn.data import DataInputStream
 from repro.kpn.streams import InputStream, OutputStream
 
 __all__ = ["ObjectInputStream", "ObjectOutputStream", "MAX_FRAME_BYTES"]

@@ -103,6 +103,24 @@ class Process:
     is what propagates termination through the graph.
     """
 
+    # -- static-analysis contract (repro.analysis.graphproofs) -------------
+    #: True when every step reads exactly one element/chunk from each
+    #: non-deferred input *before* producing any output.  Lets the
+    #: deadlock pass prove that a zero-token cycle through this process
+    #: can never start.
+    kpn_strict = False
+    #: True when long-run production on every output matches consumption
+    #: on the inputs (1:1 transforms, filters on a single output) — i.e.
+    #: no data-dependent routing between multiple outputs (ModuloRouter)
+    #: and no data-dependent consumption order (OrderedMerge).  Lets the
+    #: boundedness pass prove declared capacities sufficient.
+    kpn_rate_balanced = False
+    #: attribute names of inputs whose first read is deferred until the
+    #: process has already produced output (Cons' tail, Delay's source
+    #: when it carries initial values) — the static form of a cycle's
+    #: initial token.  May be overridden per instance.
+    kpn_deferred_inputs: tuple = ()
+
     def __init__(self, name: Optional[str] = None) -> None:
         self.name = name or f"{type(self).__name__}-{next(_process_counter)}"
         self.input_streams: List[InputStream] = []

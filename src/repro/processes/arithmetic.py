@@ -21,6 +21,9 @@ __all__ = ["Add", "Subtract", "Multiply", "Divide", "Average", "Equal",
 class BinaryOp(IterativeProcess):
     """Base: combine one element from each of two inputs per step."""
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, left: InputStream, right: InputStream, out: OutputStream,
                  iterations: int = 0, codec: "Codec | str" = LONG,
                  out_codec: "Codec | str | None" = None,
@@ -100,6 +103,9 @@ class ModuloFilter(IterativeProcess):
     several inputs before producing an output; that is still a continuous
     (indeed monotonic) stream function.
     """
+
+    kpn_strict = True         # reads before it ever writes
+    kpn_rate_balanced = True  # single-output filter: writes <= reads
 
     def __init__(self, source: InputStream, out: OutputStream, divisor: int,
                  iterations: int = 0, codec: "Codec | str" = LONG,

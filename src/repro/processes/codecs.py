@@ -34,6 +34,11 @@ class Codec:
     #: bytes per element, or None for variable-width codecs
     width: int | None = None
 
+    #: codecs are stateless after construction; the module-level singletons
+    #: (LONG, OBJECT, ...) are legitimately shared between processes, so the
+    #: race detector (repro.analysis.races) must not report them
+    __kpn_shared_ok__ = True
+
     def write(self, out: OutputStream, value: Any) -> None:
         raise NotImplementedError
 

@@ -42,6 +42,9 @@ class Delay(IterativeProcess):
     canonical way to seed DSP feedback loops.
     """
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, source: InputStream, out: OutputStream,
                  initial: Sequence[Any], iterations: int = 0,
                  codec: "Codec | str" = DOUBLE, name: Optional[str] = None) -> None:
@@ -49,6 +52,10 @@ class Delay(IterativeProcess):
         self.source = source
         self.out = out
         self.initial = tuple(initial)
+        if self.initial:
+            # the initial values are written before the source is first
+            # read — on a feedback cycle they are the initial tokens
+            self.kpn_deferred_inputs = ("source",)
         self.codec = get_codec(codec)
         self.track(source, out)
 

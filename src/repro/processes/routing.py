@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional, Sequence
 
+from repro.analysis.markers import nondeterminate
 from repro.errors import ChannelError, EndOfStreamError
 from repro.kpn.channel import ChannelInputStream, wait_any_readable
 from repro.kpn.process import IterativeProcess, StopProcess
@@ -33,6 +34,9 @@ class Guard(IterativeProcess):
     the Newton square-root network (Figure 11): it forwards the converged
     root estimate once and stops, triggering the termination cascade.
     """
+
+    kpn_strict = True
+    kpn_rate_balanced = True  # single output: writes <= reads
 
     def __init__(self, data: InputStream, control: InputStream, out: OutputStream,
                  iterations: int = 0, codec: "Codec | str" = LONG,
@@ -64,6 +68,10 @@ class ModuloRouter(IterativeProcess):
     an acyclic graph.
     """
 
+    kpn_strict = True
+    # NOT rate-balanced: output selection is data-dependent, so relative
+    # occupancies can grow without bound (the whole point of Figure 13)
+
     def __init__(self, source: InputStream, upper: OutputStream,
                  lower: OutputStream, divisor: int, iterations: int = 0,
                  codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:
@@ -89,6 +97,9 @@ class Scatter(IterativeProcess):
     every worker receives the same number of tasks (±1).
     """
 
+    kpn_strict = True
+    kpn_rate_balanced = True  # round-robin: routing is data-independent
+
     def __init__(self, source: InputStream, outputs: Sequence[OutputStream],
                  iterations: int = 0, codec: "Codec | str" = OBJECT,
                  name: Optional[str] = None) -> None:
@@ -113,6 +124,9 @@ class Gather(IterativeProcess):
     parallel composition is, from the point of view of the producer and
     consumer processes, equivalent to a single worker."
     """
+
+    kpn_strict = True
+    kpn_rate_balanced = True  # round-robin: routing is data-independent
 
     def __init__(self, inputs: Sequence[InputStream], out: OutputStream,
                  iterations: int = 0, codec: "Codec | str" = OBJECT,
@@ -140,6 +154,9 @@ class Direct(IterativeProcess):
     Worker".
     """
 
+    kpn_strict = True
+    # NOT rate-balanced: output selection is driven by the index stream
+
     def __init__(self, tasks: InputStream, index: InputStream,
                  outputs: Sequence[OutputStream], iterations: int = 0,
                  codec: "Codec | str" = OBJECT, name: Optional[str] = None) -> None:
@@ -156,6 +173,9 @@ class Direct(IterativeProcess):
         self.codec.write(self.outputs[worker], task)
 
 
+@nondeterminate("arrival-order merge: output ordering depends on event "
+                "timing in the execution environment (paper section 5); "
+                "well behaved only in composition with Select")
 class Turnstile(IterativeProcess):
     """Arrival-order merge of worker results — the non-determinate piece.
 
@@ -223,6 +243,9 @@ class Select(IterativeProcess):
     result: the consumer sees exactly the sequence it would see from a
     single worker — the "well behaved" property of section 5.
     """
+
+    kpn_strict = True
+    kpn_rate_balanced = True  # emits exactly one result per pair consumed
 
     def __init__(self, pairs_in: InputStream, out: OutputStream, n_workers: int,
                  iterations: int = 0, codec: "Codec | str" = OBJECT,

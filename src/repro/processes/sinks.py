@@ -22,6 +22,9 @@ __all__ = ["Print", "Collect", "Discard"]
 class Print(IterativeProcess):
     """Prints each element of its input stream."""
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, source: InputStream, iterations: int = 0,
                  codec: "Codec | str" = LONG, file: Optional[TextIO] = None,
                  prefix: str = "", name: Optional[str] = None) -> None:
@@ -50,6 +53,9 @@ class Collect(IterativeProcess):
     collected history — which, by determinacy, is unique.
     """
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, source: InputStream, into: List[Any], iterations: int = 0,
                  codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:
         super().__init__(iterations=iterations, name=name)
@@ -64,6 +70,9 @@ class Collect(IterativeProcess):
 
 class Discard(IterativeProcess):
     """Consumes and drops elements (keeps upstream from blocking forever)."""
+
+    kpn_strict = True
+    kpn_rate_balanced = True
 
     def __init__(self, source: InputStream, iterations: int = 0,
                  codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:

@@ -24,6 +24,9 @@ __all__ = ["Constant", "Sequence", "FromIterable"]
 class Constant(IterativeProcess):
     """Writes ``value`` to its output once per step."""
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, value: Any, out: OutputStream, iterations: int = 0,
                  codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:
         super().__init__(iterations=iterations, name=name)
@@ -38,6 +41,9 @@ class Constant(IterativeProcess):
 
 class Sequence(IterativeProcess):
     """Writes ``start, start+stride, start+2*stride, …``."""
+
+    kpn_strict = True
+    kpn_rate_balanced = True
 
     def __init__(self, out: OutputStream, start: int = 0, stride: int = 1,
                  iterations: int = 0, codec: "Codec | str" = LONG,
@@ -56,6 +62,9 @@ class Sequence(IterativeProcess):
 
 class FromIterable(IterativeProcess):
     """Writes the elements of an iterable, then stops (closing its output)."""
+
+    kpn_strict = True
+    kpn_rate_balanced = True
 
     def __init__(self, out: OutputStream, items: Iterable[Any],
                  codec: "Codec | str" = LONG, name: Optional[str] = None) -> None:

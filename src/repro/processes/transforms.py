@@ -41,6 +41,12 @@ class Cons(IterativeProcess):
     the feedback loop (Figure 6).
     """
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+    #: the head is copied out before the tail is ever read — on a
+    #: feedback cycle this is the initial token (paper Figure 6)
+    kpn_deferred_inputs = ("tail",)
+
     def __init__(self, head: InputStream, tail: InputStream, out: OutputStream,
                  name: Optional[str] = None) -> None:
         super().__init__(iterations=0, name=name)
@@ -115,6 +121,9 @@ class Duplicate(IterativeProcess):
       their sources instead.
     """
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, source: InputStream, outputs: Sequence[OutputStream],
                  resilient: bool = False, name: Optional[str] = None) -> None:
         super().__init__(iterations=0, name=name)
@@ -151,6 +160,9 @@ class Duplicate(IterativeProcess):
 class Identity(IterativeProcess):
     """Copies input bytes to output unchanged (useful as a buffer stage)."""
 
+    kpn_strict = True
+    kpn_rate_balanced = True
+
     def __init__(self, source: InputStream, out: OutputStream,
                  name: Optional[str] = None) -> None:
         super().__init__(iterations=0, name=name)
@@ -167,6 +179,9 @@ class Identity(IterativeProcess):
 
 class Scale(IterativeProcess):
     """Multiplies each element by a constant (Hamming network, Figure 12)."""
+
+    kpn_strict = True
+    kpn_rate_balanced = True
 
     def __init__(self, source: InputStream, out: OutputStream, factor: Any,
                  iterations: int = 0, codec: "Codec | str" = LONG,
@@ -189,6 +204,9 @@ class MapProcess(IterativeProcess):
     become a process, and as long as it is pure (no shared state with
     other processes) the network remains determinate.
     """
+
+    kpn_strict = True
+    kpn_rate_balanced = True
 
     def __init__(self, source: InputStream, out: OutputStream,
                  fn: Callable[[Any], Any], iterations: int = 0,

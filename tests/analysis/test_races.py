@@ -1,0 +1,208 @@
+"""Shared-state race detector: object-capture graph over live processes."""
+
+import threading
+from dataclasses import dataclass
+
+from repro.analysis.races import detect_races, race_findings
+from repro.kpn.network import Network
+from repro.processes.sinks import Collect
+from repro.processes.sources import FromIterable
+from repro.processes.transforms import MapProcess
+
+
+def two_collectors(into_a, into_b):
+    net = Network(name="race-test")
+    c1 = net.channel(name="c1")
+    c2 = net.channel(name="c2")
+    net.add(Collect(c1.get_input_stream(), into_a, name="k1"))
+    net.add(Collect(c2.get_input_stream(), into_b, name="k2"))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# true positives
+# ---------------------------------------------------------------------------
+
+def test_shared_list_reported():
+    shared = []
+    races = detect_races(two_collectors(shared, shared))
+    assert len(races) == 1
+    race = races[0]
+    assert race.type_name == "list"
+    assert set(race.processes) == {"k1", "k2"}
+    assert race.paths["k1"] == "k1.into"
+
+
+def test_shared_dict_reported_through_closure():
+    table = {}
+    net = Network()
+    ch1, ch2, o1, o2 = (net.channel(name=n) for n in "abcd")
+
+    def memo1(x):
+        return table.setdefault(x, x * 2)
+
+    def memo2(x):
+        return table.setdefault(x, x * 3)
+
+    net.add(MapProcess(ch1.get_input_stream(), o1.get_output_stream(),
+                       memo1, name="m1"))
+    net.add(MapProcess(ch2.get_input_stream(), o2.get_output_stream(),
+                       memo2, name="m2"))
+    net.add(FromIterable(ch1.get_output_stream(), [1], name="s1"))
+    net.add(FromIterable(ch2.get_output_stream(), [2], name="s2"))
+    net.add(Collect(o1.get_input_stream(), [], name="k1"))
+    net.add(Collect(o2.get_input_stream(), [], name="k2"))
+    races = detect_races(net)
+    assert len(races) == 1
+    assert races[0].type_name == "dict"
+    assert set(races[0].processes) == {"m1", "m2"}
+
+
+def test_shared_mutable_instance_reported():
+    class Counter:
+        def __init__(self):
+            self.n = 0
+
+    shared = Counter()
+    net = Network()
+    ch1, ch2, o1, o2 = (net.channel(name=n) for n in "abcd")
+
+    def bump1(x):
+        shared.n += 1
+        return x
+
+    def bump2(x):
+        shared.n += 1
+        return x
+
+    net.add(MapProcess(ch1.get_input_stream(), o1.get_output_stream(),
+                       bump1, name="m1"))
+    net.add(MapProcess(ch2.get_input_stream(), o2.get_output_stream(),
+                       bump2, name="m2"))
+    races = detect_races(net)
+    assert any(r.type_name == "Counter" for r in races)
+
+
+def test_race_findings_are_errors():
+    shared = []
+    findings = race_findings(two_collectors(shared, shared))
+    assert len(findings) == 1
+    assert findings[0].rule == "shared-state"
+    assert findings[0].severity == "error"
+    assert findings[0].analysis == "races"
+    assert "k1" in findings[0].message and "k2" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# true negatives
+# ---------------------------------------------------------------------------
+
+def test_separate_lists_clean():
+    assert detect_races(two_collectors([], [])) == []
+
+
+def test_channels_and_streams_exempt():
+    # every real network shares channel infrastructure by design
+    net = Network()
+    ch = net.channel(name="c")
+    net.add(FromIterable(ch.get_output_stream(), [1, 2, 3], name="src"))
+    net.add(Collect(ch.get_input_stream(), [], name="snk"))
+    assert detect_races(net) == []
+
+
+def test_locks_exempt():
+    lock = threading.Lock()
+    net = Network()
+    ch1, ch2, o1, o2 = (net.channel(name=n) for n in "abcd")
+
+    def f1(x):
+        with lock:
+            return x
+
+    def f2(x):
+        with lock:
+            return x
+
+    net.add(MapProcess(ch1.get_input_stream(), o1.get_output_stream(),
+                       f1, name="m1"))
+    net.add(MapProcess(ch2.get_input_stream(), o2.get_output_stream(),
+                       f2, name="m2"))
+    assert detect_races(net) == []
+
+
+def test_frozen_dataclass_and_tuple_exempt():
+    @dataclass(frozen=True)
+    class Config:
+        scale: int
+
+    cfg = Config(3)
+    table = (1, 2, 3)
+    net = Network()
+    ch1, ch2, o1, o2 = (net.channel(name=n) for n in "abcd")
+
+    def f1(x):
+        return x * cfg.scale + table[0]
+
+    def f2(x):
+        return x * cfg.scale + table[1]
+
+    net.add(MapProcess(ch1.get_input_stream(), o1.get_output_stream(),
+                       f1, name="m1"))
+    net.add(MapProcess(ch2.get_input_stream(), o2.get_output_stream(),
+                       f2, name="m2"))
+    assert detect_races(net) == []
+
+
+def test_shared_codec_singletons_exempt():
+    # every LONG-typed process holds the same module-level codec: that is
+    # fine (codecs are stateless and marked __kpn_shared_ok__)
+    net = Network()
+    ch = net.channel(name="c")
+    mid = net.channel(name="m")
+    net.add(FromIterable(ch.get_output_stream(), [1], name="src"))
+    net.add(MapProcess(ch.get_input_stream(), mid.get_output_stream(),
+                       abs, name="map"))
+    net.add(Collect(mid.get_input_stream(), [], name="snk"))
+    assert detect_races(net) == []
+
+
+def test_shared_ok_marker_exempts_custom_class():
+    class Registry:
+        __kpn_shared_ok__ = True
+
+        def __init__(self):
+            self.entries = {}
+
+    shared = Registry()
+    net = Network()
+    ch1, ch2, o1, o2 = (net.channel(name=n) for n in "abcd")
+
+    def f1(x):
+        return shared.entries.get(x, x)
+
+    def f2(x):
+        return shared.entries.get(x, x)
+
+    net.add(MapProcess(ch1.get_input_stream(), o1.get_output_stream(),
+                       f1, name="m1"))
+    net.add(MapProcess(ch2.get_input_stream(), o2.get_output_stream(),
+                       f2, name="m2"))
+    assert detect_races(net) == []
+
+
+def test_farm_cloned_state_clean():
+    # the parallel-farm idiom: every worker gets its OWN copy of the
+    # mutable state, so nothing is reachable from two processes
+    net = Network()
+    chans = [net.channel(name=f"c{i}") for i in range(3)]
+    outs = [net.channel(name=f"o{i}") for i in range(3)]
+    for i, (ci, oi) in enumerate(zip(chans, outs)):
+        state = {"seen": 0}  # cloned per worker
+
+        def work(x, state=state):
+            state["seen"] += 1
+            return x
+
+        net.add(MapProcess(ci.get_input_stream(), oi.get_output_stream(),
+                           work, name=f"w{i}"))
+    assert detect_races(net) == []

@@ -1,0 +1,38 @@
+"""The linter self-hosted over this repo's own process library.
+
+The CI gate: ``repro lint src/repro/processes examples`` must be
+*clean and sharp* — findings appear exactly inside the components the
+library explicitly declares ``@nondeterminate`` (today: Turnstile's
+arrival-order merge) and nowhere else.  A new polling loop, clock read,
+or module-global mutation anywhere in the library turns this red.
+"""
+
+import os
+
+from repro.analysis.astlint import lint_paths
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+PROCESSES = os.path.join(REPO, "src", "repro", "processes")
+EXAMPLES = os.path.join(REPO, "examples")
+
+
+def test_process_library_clean_and_sharp():
+    findings = lint_paths([PROCESSES])
+    assert findings, "the declared-nondeterminate Turnstile must be reported"
+    for f in findings:
+        assert f.severity == "declared", f
+        assert f.subject.startswith("Turnstile"), f
+    assert {f.rule for f in findings} == {"poll"}
+
+
+def test_examples_clean():
+    findings = lint_paths([EXAMPLES])
+    failing = [f for f in findings if f.severity in ("error", "warning")]
+    assert failing == []
+
+
+def test_analysis_package_itself_clean():
+    # the analyzer contains no process classes, so linting it is vacuous —
+    # but it must not crash on its own source (visitor edge cases)
+    analysis = os.path.join(REPO, "src", "repro", "analysis")
+    assert lint_paths([analysis]) == []

@@ -147,16 +147,37 @@ def test_self_loop_detected():
     assert "self-loop" in codes(check_network(net))
 
 
-def test_cycle_reported_as_info_with_monitor():
+def test_fibonacci_cycle_proved_bounded():
+    # fibonacci's feedback loops all carry initial tokens (Cons defers its
+    # tail), so the blanket cycle flag is discharged by the static proof
     built = fibonacci(5)
+    issues = check_network(built.network)
+    assert "cycle-proved-bounded" in codes(issues)
+    assert "cycle" not in codes(issues)
+    assert not any(i.severity == "error" for i in issues)
+
+
+def test_unproved_cycle_reported_as_info_with_monitor():
+    # hamming's OrderedMerge carries no rate-balance declaration (it is
+    # genuinely unbounded at fixed capacities), so no proof discharges it
+    built = hamming(5)
     issues = check_network(built.network)
     assert "cycle" in codes(issues)
     assert not any(i.severity == "error" for i in issues)
 
 
-def test_cycle_warned_without_monitor():
+def test_proved_bounded_cycle_not_warned_without_monitor():
+    # a proof makes the monitor unnecessary: no warning even when it is off
     net = Network(bounded=False)
     built = fibonacci(5, network=net)
+    issues = check_network(built.network)
+    assert "cycle-proved-bounded" in codes(issues)
+    assert "cycle-unbounded-monitorless" not in codes(issues)
+
+
+def test_unproved_cycle_warned_without_monitor():
+    net = Network(bounded=False)
+    built = hamming(5, network=net)
     issues = check_network(built.network)
     assert "cycle-unbounded-monitorless" in codes(issues)
 
@@ -174,3 +195,56 @@ def test_checked_graph_actually_runs():
     built = fibonacci(10)
     check_network(built.network, strict=True)
     assert built.run(timeout=60) == [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+
+
+# ---------------------------------------------------------------------------
+# composite recursion
+# ---------------------------------------------------------------------------
+
+def test_checker_recurses_into_nested_composites():
+    from repro.kpn.process import CompositeProcess
+
+    net = Network()
+    ch = net.channel(name="contested")
+    inner = CompositeProcess(
+        [Sequence(ch.get_output_stream(), name="writer-a")], name="inner")
+    outer = CompositeProcess([inner], name="outer")
+    net.add(outer)
+    net.add(Sequence(ch.get_output_stream(), name="writer-b"))
+    net.add(Collect(ch.get_input_stream(), []))
+    issues = check_network(net)
+    multi = [i for i in issues if i.code == "multi-producer"]
+    assert multi, "producer buried two composites deep must still be seen"
+    assert "writer-a" in multi[0].message
+
+
+def test_composite_tracked_boundary_stream_counts_as_endpoint():
+    # a composite may track a boundary stream itself (so it migrates and
+    # closes with the group) without any leaf tracking it: the channel is
+    # connected, not a no-producer error
+    from repro.kpn.process import CompositeProcess
+
+    net = Network()
+    ch = net.channel(name="boundary")
+    comp = CompositeProcess([], name="facade")
+    comp.track(ch.get_output_stream())
+    net.add(comp)
+    net.add(Collect(ch.get_input_stream(), []))
+    issues = check_network(net)
+    assert not any(i.code == "no-producer" for i in issues)
+
+
+def test_composite_retracking_member_stream_not_multi_producer():
+    # re-tracking a member's endpoint at the composite boundary is the
+    # grouping idiom, not a second producer
+    from repro.kpn.process import CompositeProcess
+
+    net = Network()
+    ch = net.channel(name="shared-track")
+    leaf = Sequence(ch.get_output_stream(), name="leaf-writer")
+    comp = CompositeProcess([leaf], name="group")
+    comp.track(ch.get_output_stream())
+    net.add(comp)
+    net.add(Collect(ch.get_input_stream(), []))
+    issues = check_network(net)
+    assert not any(i.code == "multi-producer" for i in issues)

@@ -178,3 +178,72 @@ def test_metrics_command_renders_profile_gauges(capsys):
         TELEMETRY.disable().reset()
     out = capsys.readouterr().out
     assert 'repro_kpn_channel_occupancy_bytes{channel="x"} 5' in out
+
+
+# ---------------------------------------------------------------------------
+# repro lint
+# ---------------------------------------------------------------------------
+
+def test_lint_figure_network_clean(capsys):
+    assert run_cli("lint", "fibonacci") == 0
+    assert "proved-bounded" in capsys.readouterr().out
+
+
+def test_lint_self_hosting_exits_zero(capsys):
+    # the library's only findings are inside declared-nondeterminate
+    # components, which are exempt from the exit code
+    assert run_cli("lint", "src/repro/processes") == 0
+    out = capsys.readouterr().out
+    assert "declared:poll" in out
+    assert "Turnstile" in out
+
+
+def test_lint_json_schema(capsys):
+    import json
+
+    from repro.analysis import JSON_SCHEMA_VERSION
+
+    assert run_cli("lint", "--json", "src/repro/processes", "fibonacci") == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema_version"] == JSON_SCHEMA_VERSION
+    assert doc["targets"] == ["src/repro/processes", "fibonacci"]
+    assert set(doc["summary"]) == {"error", "warning", "info", "declared",
+                                   "failing"}
+    assert doc["summary"]["failing"] == 0
+    assert doc["findings"], "expected Turnstile declared + proof info rows"
+    for row in doc["findings"]:
+        assert set(row) == {"rule", "severity", "message", "analysis",
+                            "subject", "file", "line"}
+        assert row["severity"] in ("error", "warning", "info", "declared")
+        assert row["analysis"] in ("astlint", "races", "graph")
+    severities = [row["severity"] for row in doc["findings"]]
+    # sorted: failing severities first, info last
+    assert severities == sorted(
+        severities, key=lambda s: {"error": 0, "warning": 1, "declared": 2,
+                                   "info": 3}[s])
+
+
+def test_lint_failing_severity_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "bad_process.py"
+    bad.write_text(
+        "from repro.kpn.process import IterativeProcess\n\n\n"
+        "class Poller(IterativeProcess):\n"
+        "    def step(self):\n"
+        "        n = self.source.channel.occupancy()\n")
+    assert run_cli("lint", str(bad)) == 1
+    out = capsys.readouterr().out
+    assert "error:poll" in out
+
+
+def test_lint_unresolvable_target(capsys):
+    assert run_cli("lint", "no.such.module") == 2
+    assert "cannot resolve" in capsys.readouterr().err
+
+
+def test_lint_module_target(capsys):
+    assert run_cli("lint", "repro.processes.arithmetic") == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_check_strict_flag(capsys):
+    assert run_cli("check", "fibonacci", "--strict") == 0
