@@ -1,0 +1,160 @@
+"""Graph-compiler fusion benchmark: threaded channels vs. fused chains.
+
+Two scenarios, each run unfused (one thread per process, full Channel
+ring buffers) and fused (``repro.kpn.compile.fuse``: one thread per
+chain, lock-free deque pipes, object fast path on matching codecs):
+
+* ``map-chain`` — the small-message stress case: ``Sequence`` ->
+  ``Scale`` x4 -> ``Collect`` over LONG-codec channels, drain-mode so
+  termination is deterministic.  Per-message work is ~zero, so the run
+  is pure channel overhead — exactly what fusion removes.
+* ``fig19-pipeline`` — the paper's Figure 19 task farm in pipeline
+  mode (producer -> worker -> consumer over pickle-codec channels).
+
+Runs are *paired*: within each repeat the unfused and fused variants
+execute back to back, and the speedup is the median of the per-repeat
+ratios, which cancels slow-host drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fusion.py            # full
+    PYTHONPATH=src python benchmarks/bench_fusion.py --quick    # ~10s
+    PYTHONPATH=src python benchmarks/bench_fusion.py --smoke    # CI-sized
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.kpn.compile import fuse  # noqa: E402
+from repro.kpn.network import Network  # noqa: E402
+from repro.processes import Collect, Scale, Sequence  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_fusion.json")
+
+
+def build_map_chain(count, stages):
+    """Sequence -> Scale*stages -> Collect on LONG channels, drain-mode."""
+    net = Network(name="bench-map-chain")
+    chans = net.channels_n(stages + 1, prefix="bench")
+    net.add(Sequence(chans[0].get_output_stream(), start=0,
+                     iterations=count, name="Src"))
+    for i in range(stages):
+        net.add(Scale(chans[i].get_input_stream(),
+                      chans[i + 1].get_output_stream(), factor=2,
+                      name=f"Map-{i}"))
+    out = []
+    net.add(Collect(chans[-1].get_input_stream(), out, iterations=count,
+                    name="Dst"))
+    return net, out, count * (stages + 1)  # messages = hops over channels
+
+
+def build_fig19(tasks):
+    from repro.parallel.farm import build_farm
+    from repro.parallel.tasks import CallableTask, RangeProducerTask
+
+    built = build_farm(
+        RangeProducerTask(tasks, lambda i: CallableTask(pow, i, 3)),
+        n_workers=1, mode="pipeline")
+    # producer -> worker and worker -> consumer: two hops per task
+    return built.network, built.results, tasks * 2
+
+
+def run_once(build, optimize, timeout):
+    net, out, msgs = build()
+    if optimize:
+        plan = fuse(net)
+        if not plan.chains:
+            raise RuntimeError("benchmark network did not fuse")
+    t0 = time.perf_counter()
+    net.run(timeout=timeout)
+    elapsed = time.perf_counter() - t0
+    if not out:
+        raise RuntimeError("benchmark produced no output")
+    return {"seconds": round(elapsed, 4),
+            "msgs_per_sec": round(msgs / elapsed, 2),
+            "messages": msgs}
+
+
+def run_scenario(name, build, repeats, timeout):
+    """Paired repeats: unfused then fused, ratio per repeat, median."""
+    unfused, fused, ratios = [], [], []
+    for _ in range(repeats):
+        u = run_once(build, optimize=False, timeout=timeout)
+        f = run_once(build, optimize=True, timeout=timeout)
+        unfused.append(u)
+        fused.append(f)
+        ratios.append(f["msgs_per_sec"] / u["msgs_per_sec"])
+    def median_run(runs):  # median-high by rate; keeps a real run intact
+        return sorted(runs, key=lambda r: r["msgs_per_sec"])[len(runs) // 2]
+
+    u_med = median_run(unfused)
+    f_med = median_run(fused)
+    result = {
+        "scenario": name,
+        "repeats": repeats,
+        "unfused": u_med,
+        "fused": f_med,
+        "speedup": round(statistics.median(ratios), 3),
+    }
+    print(f"{name:>16}: unfused {u_med['msgs_per_sec']:>10.0f} msgs/s  "
+          f"fused {f_med['msgs_per_sec']:>10.0f} msgs/s  "
+          f"speedup x{result['speedup']:.2f}", flush=True)
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller message counts (~10s total)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized: minimal counts, 1 repeat")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    if args.smoke:
+        count, stages, tasks, repeats = 2_000, 4, 40, 1
+    elif args.quick:
+        count, stages, tasks, repeats = 10_000, 4, 150, 2
+    else:
+        count, stages, tasks, repeats = 40_000, 4, 400, 3
+    if args.repeats:
+        repeats = args.repeats
+
+    scenarios = [
+        ("map-chain", lambda: build_map_chain(count, stages)),
+        ("fig19-pipeline", lambda: build_fig19(tasks)),
+    ]
+    results = [run_scenario(name, build, repeats, timeout=600)
+               for name, build in scenarios]
+
+    doc = {
+        "benchmark": "graph-compiler-fusion",
+        "host": {"cpu_count": os.cpu_count(), "python":
+                 platform.python_version(), "platform": platform.platform(),
+                 "pid": os.getpid()},
+        "config": {"map_chain_count": count, "map_chain_stages": stages,
+                   "fig19_tasks": tasks, "repeats": repeats,
+                   "smoke": bool(args.smoke), "quick": bool(args.quick)},
+        "results": results,
+        "note": ("speedup is the median of per-repeat fused/unfused "
+                 "msgs_per_sec ratios; map-chain is pure channel overhead "
+                 "and shows the full fusion win, fig19 includes real task "
+                 "execution"),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

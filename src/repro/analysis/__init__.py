@@ -13,6 +13,11 @@ Three passes, surfaced together by ``repro lint`` (see docs/analysis.md):
 :func:`lint_network` chains all three over a built
 :class:`~repro.kpn.network.Network`; the source-level entry points
 (:func:`lint_paths`, :func:`lint_source`) run the AST pass alone.
+
+:mod:`repro.analysis.fuse` layers fusion-safety judgements on top of the
+same passes for the graph compiler (:mod:`repro.kpn.compile`): which
+processes must keep their own threads (``@nondeterminate``, dynamic
+graph reconfiguration, custom run loops, shared-state races).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.analysis.astlint import (RULES, lint_callable, lint_class,
 from repro.analysis.findings import (FAILING_SEVERITIES,
                                      JSON_SCHEMA_VERSION, Finding,
                                      sort_findings, summarize)
+from repro.analysis.fuse import dynamic_reason, fusion_blockers
 from repro.analysis.graphproofs import (GraphProof, graph_findings,
                                         prove_graph)
 from repro.analysis.markers import declared_nondeterminate, nondeterminate
@@ -37,6 +43,7 @@ __all__ = [
     "lint_callable",
     "Race", "detect_races", "race_findings",
     "GraphProof", "prove_graph", "graph_findings",
+    "fusion_blockers", "dynamic_reason",
     "lint_network",
 ]
 

@@ -22,6 +22,9 @@ lint            Kahn-semantics static analyzer: AST process lint,
 profile         run an example network under the continuous profiler:
                 ranked bottleneck report, per-process utilization,
                 capacity-advisor spec, optional folded stacks
+compile         build a figure network and print the graph compiler's
+                fusion plan (chains fused, channels collapsed, refusals);
+                ``--run`` executes the optimized network
 version         print the library version
 ==============  ==============================================================
 
@@ -143,6 +146,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig19 farm width (default 4)")
     p_prof.add_argument("--tasks", type=int, default=120,
                         help="fig19 task count (default 120)")
+
+    p_compile = sub.add_parser(
+        "compile", help="print the graph compiler's fusion plan for a "
+                        "figure network (chain fusion, channel collapse, "
+                        "buffer pre-sizing)")
+    p_compile.add_argument("which", choices=PROFILABLE)
+    p_compile.add_argument("--spec", default=None, metavar="FILE",
+                           help="capacity spec JSON (repro profile "
+                                "--spec-out) used to pre-size surviving "
+                                "channels")
+    p_compile.add_argument("--json", action="store_true",
+                           help="machine-readable plan")
+    p_compile.add_argument("--run", action="store_true",
+                           help="apply the plan and run the fused network")
+    p_compile.add_argument("--workers", type=int, default=4,
+                           help="fig19 farm width (default 4)")
+    p_compile.add_argument("--tasks", type=int, default=120,
+                           help="fig19 task count (default 120)")
 
     sub.add_parser("version", help="print the version")
     return parser
@@ -503,6 +524,27 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    """Print (and optionally run) the fusion plan for a figure network."""
+    import json
+
+    from repro.kpn.compile import compile_network
+
+    network, runner = _profile_target(args)
+    plan = compile_network(network, spec=args.spec)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.describe())
+    if args.run:
+        plan.apply()
+        runner()
+        fused = ", ".join(c.name for c in plan.fused) or "none"
+        print(f"fused network ran to completion (chains: {fused})",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_version(args) -> int:
     import repro
 
@@ -521,6 +563,7 @@ _HANDLERS = {
     "check": _cmd_check,
     "lint": _cmd_lint,
     "profile": _cmd_profile,
+    "compile": _cmd_compile,
     "version": _cmd_version,
 }
 

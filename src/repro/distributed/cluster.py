@@ -45,12 +45,18 @@ class LocalCluster:
                  name_prefix: str = "server", telemetry: bool = False,
                  profile: bool = False,
                  executor: Optional[str] = None,
-                 pool_size: Optional[int] = None) -> None:
+                 pool_size: Optional[int] = None,
+                 optimize: bool = False) -> None:
         if mode not in ("thread", "process"):
             raise ValueError("mode must be 'thread' or 'process'")
         self.mode = mode
         self.n_servers = n_servers
         self.name_prefix = name_prefix
+        #: run the graph compiler (:mod:`repro.kpn.compile`) over the
+        #: local partition before :func:`run_partitioned` starts it —
+        #: remote-linked channels are never fused, so this only collapses
+        #: hops that stayed on this host
+        self.optimize = optimize
         #: compute backend every server executes shipped tasks (and hosted
         #: workers with unset specs) on: "inline"/"thread"/"process"
         self.executor = executor
@@ -251,7 +257,8 @@ def run_partitioned(local_part: Optional[Process],
                     cluster: LocalCluster,
                     network: Optional[Network] = None,
                     timeout: Optional[float] = 120.0,
-                    settle: float = 0.05) -> Network:
+                    settle: float = 0.05,
+                    optimize: Optional[bool] = None) -> Network:
     """The Figure 14/15 workflow.
 
     Build the whole graph on this machine, pass the composites to ship in
@@ -262,6 +269,10 @@ def run_partitioned(local_part: Optional[Process],
 
     Ships remote parts *in order* before starting the local part, matching
     the paper's staging; returns the local network after joining it.
+
+    ``optimize`` runs the graph compiler over the local partition before
+    it starts (defaults to ``cluster.optimize``).  Remote-pumped channels
+    are never fused, so only same-host hops collapse.
     """
     net = network or Network(name="partitioned")
     for i, part in enumerate(remote_parts):
@@ -269,5 +280,7 @@ def run_partitioned(local_part: Optional[Process],
         time.sleep(settle)  # let listeners/pumps of that hop establish
     if local_part is not None:
         net.add(local_part)
+    if cluster.optimize if optimize is None else optimize:
+        net.optimize()
     net.run(timeout=timeout)
     return net

@@ -26,6 +26,7 @@ from repro.kpn.streams import (BlockingInputStream, InputStream, LocalInputStrea
                                SequenceInputStream, SequenceOutputStream)
 
 __all__ = [
+    "FusedChain", "FusionPlan", "compile_network", "fuse",
     "GraphConsistencyError", "Issue", "check_network",
     "HistoryCapture", "decode_bytes", "infer_codecs",
     "ChannelTrace", "TraceReport", "Tracer",
@@ -40,3 +41,14 @@ __all__ = [
     "LocalOutputStream", "OutputStream", "SequenceInputStream",
     "SequenceOutputStream",
 ]
+
+_COMPILE_EXPORTS = {"FusedChain", "FusionPlan", "compile_network", "fuse"}
+
+
+def __getattr__(name):
+    # the graph compiler imports the codec layer, which imports back into
+    # repro.kpn — load it lazily to keep this package import-cycle free
+    if name in _COMPILE_EXPORTS:
+        from repro.kpn import compile as _compile
+        return getattr(_compile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

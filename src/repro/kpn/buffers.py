@@ -583,6 +583,17 @@ class BoundedByteBuffer:
         with self._lock:
             return bytes(self.history) if self.history is not None else b""
 
+    def record_bytes(self, data) -> None:
+        """Append ``data`` to the history without buffering it.
+
+        Used by the graph compiler's fused pipes: bytes that bypass the
+        ring still show up in the channel history, so HistoryCapture
+        sees the same stream fused and unfused.
+        """
+        with self._lock:
+            if self.history is not None:
+                self.history += data
+
     def grow(self, new_capacity: int, process: str = "") -> None:
         """Enlarge the buffer, waking any writers blocked on a full buffer.
 

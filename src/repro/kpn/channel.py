@@ -178,6 +178,10 @@ class Channel:
         self._lock = threading.Lock()
         self._input: Optional[ChannelInputStream] = None
         self._output: Optional[ChannelOutputStream] = None
+        #: set by the graph compiler when this channel's ring is bypassed
+        #: by an intra-chain fused pipe (name and endpoints survive; the
+        #: profiler and capacity advisor skip fused channels)
+        self.fused = False
 
     # -- endpoints ---------------------------------------------------------
     def get_output_stream(self) -> ChannelOutputStream:
@@ -207,9 +211,12 @@ class Channel:
 
     def occupancy(self) -> dict:
         """Current fill level for the profiler's channel sampling."""
-        return {"channel": self.name, "buffered": self.buffer.available(),
-                "capacity": self.buffer.capacity,
-                "high_watermark": self.buffer.high_watermark}
+        entry = {"channel": self.name, "buffered": self.buffer.available(),
+                 "capacity": self.buffer.capacity,
+                 "high_watermark": self.buffer.high_watermark}
+        if self.fused:
+            entry["fused"] = True
+        return entry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Channel {self.name!r} cap={self.buffer.capacity}>"

@@ -52,20 +52,34 @@ class Network:
         Initial capacity for channels created via :meth:`channel`.
     policy:
         Deadlock policy (growth factor, caps, true-deadlock reaction).
+    capacity_spec:
+        Optional ``{channel_name: initial_capacity}`` spec — a flat
+        dict, the capacity advisor's ``repro profile --spec-out``
+        document, or a path to a JSON file of either shape.  Channels
+        created via :meth:`channel` with a name in the spec (and no
+        explicit capacity) start pre-sized, avoiding grow-on-deadlock
+        cycles even without the graph compiler.
     """
 
     def __init__(self, bounded: bool = True,
                  default_capacity: int = DEFAULT_CAPACITY,
                  policy: Optional[DeadlockPolicy] = None,
-                 name: str = "network") -> None:
+                 name: str = "network",
+                 capacity_spec=None) -> None:
         self.name = name
         self.default_capacity = default_capacity
+        if capacity_spec:
+            from repro.kpn.compile import load_capacity_spec
+            self.capacity_spec = load_capacity_spec(capacity_spec)
+        else:
+            self.capacity_spec = {}
         self.accounting = BlockAccounting(on_change=self._kick_monitor)
         self.channels: List[Channel] = []
         self.processes: List[Process] = []
         self._threads: List[threading.Thread] = []
         self._lock = threading.RLock()
         self._started = False
+        self.fusion_plan = None
         self.monitor: Optional[DeadlockMonitor] = None
         if bounded:
             self.monitor = DeadlockMonitor(self, policy)
@@ -74,7 +88,13 @@ class Network:
     # construction
     # ------------------------------------------------------------------
     def channel(self, capacity: Optional[int] = None, name: str = "") -> Channel:
-        """Create a channel owned by (and accounted to) this network."""
+        """Create a channel owned by (and accounted to) this network.
+
+        With no explicit ``capacity``, a named channel listed in the
+        network's ``capacity_spec`` starts at the spec'd size.
+        """
+        if capacity is None and name:
+            capacity = self.capacity_spec.get(name)
         ch = Channel(capacity or self.default_capacity, name=name,
                      accounting=self.accounting)
         with self._lock:
@@ -153,9 +173,28 @@ class Network:
         if issues:
             raise GraphConsistencyError(issues)
 
-    def start(self, lint: bool = False) -> "Network":
+    def optimize(self, spec=None, **kwargs) -> "Network":
+        """Run the graph compiler over this network (before :meth:`start`).
+
+        Fuses eligible linear process chains into single threads,
+        collapses the intra-chain channels onto lock-free deques, and
+        pre-sizes surviving channels from ``spec`` (defaulting to the
+        network's own ``capacity_spec``).  The applied
+        :class:`~repro.kpn.compile.FusionPlan` lands on
+        ``self.fusion_plan``.  See :mod:`repro.kpn.compile`.
+        """
+        from repro.kpn.compile import fuse
+
+        if spec is None and self.capacity_spec:
+            spec = self.capacity_spec
+        fuse(self, spec=spec, **kwargs)
+        return self
+
+    def start(self, lint: bool = False, optimize: bool = False) -> "Network":
         if lint:
             self.preflight()
+        if optimize:
+            self.optimize()
         with self._lock:
             if self._started:
                 raise RuntimeError("network already started")
@@ -222,9 +261,14 @@ class Network:
         self.raise_failures()
         return True
 
-    def run(self, timeout: Optional[float] = None, lint: bool = False) -> bool:
-        """``start()`` + ``join()``; the one-liner most programs need."""
-        self.start(lint=lint)
+    def run(self, timeout: Optional[float] = None, lint: bool = False,
+            optimize: bool = False) -> bool:
+        """``start()`` + ``join()``; the one-liner most programs need.
+
+        ``optimize=True`` runs the graph compiler (chain fusion, channel
+        collapse, buffer pre-sizing) before starting threads.
+        """
+        self.start(lint=lint, optimize=optimize)
         return self.join(timeout=timeout)
 
     def raise_failures(self) -> None:

@@ -252,6 +252,27 @@ class SequenceInputStream(InputStream):
                     "append after end of stream already observed")
             self._streams.append(stream)
 
+    def replace_head(self, stream: InputStream) -> None:
+        """Swap the stream currently being consumed for ``stream``.
+
+        The graph compiler uses this to put a fused-pipe transport in
+        front of the consumer while keeping the Channel endpoint (and
+        any streams spliced behind it) intact.  Only valid before
+        consumption starts or between whole elements — the compiler
+        checks the buffer is empty before rewiring.
+        """
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError(
+                    "replace_head on closed SequenceInputStream")
+            if self._finished:
+                raise ChannelClosedError(
+                    "replace_head after end of stream already observed")
+            if self._streams:
+                self._streams[0] = stream
+            else:
+                self._streams.append(stream)
+
     @property
     def current(self) -> Optional[InputStream]:
         with self._lock:

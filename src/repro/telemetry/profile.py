@@ -319,6 +319,8 @@ class Profiler:
                 entry["buffered"] = occ["buffered"]
                 entry["capacity"] = occ["capacity"]
                 entry["high_watermark"] = occ["high_watermark"]
+                if occ.get("fused"):
+                    entry["fused"] = True
                 if self._hub.enabled:
                     self._hub.set_gauge("kpn.channel.occupancy_bytes",
                                         occ["buffered"], channel=ch.name)
@@ -453,7 +455,8 @@ def _channel_stats(snapshot: Mapping[str, Any],
     for cname, c in (snapshot.get("channels") or {}).items():
         e = entry(cname)
         for field in ("initial_capacity", "grown_to", "grow_events",
-                      "growers", "capacity", "high_watermark", "buffered"):
+                      "growers", "capacity", "high_watermark", "buffered",
+                      "fused"):
             if c.get(field) is not None:
                 e[field] = c[field]
     for cname, e in chans.items():
@@ -473,6 +476,14 @@ def _top_key(scores: Mapping[str, float]) -> Optional[str]:
 def _advise(ranked: List[Dict[str, Any]], wall: float,
             default_capacity: int) -> None:
     for e in ranked:
+        if e.get("fused"):
+            # the graph compiler bypassed this channel's ring with an
+            # unbounded intra-chain pipe: capacity is moot, and its
+            # occupancy reads zero by construction
+            e["recommended_capacity"] = int(e.get("capacity")
+                                            or default_capacity)
+            e["reason"] = "fused into a chain by the graph compiler; keep"
+            continue
         initial = e.get("initial_capacity") or default_capacity
         cap = e.get("capacity") or e.get("grown_to") or initial
         watermark = e.get("high_watermark") or 0
@@ -574,7 +585,7 @@ def analyze(snapshot: Mapping[str, Any],
         "default_capacity": default_capacity,
         "channels": {e["name"]: {"initial_capacity": e["recommended_capacity"],
                                  "reason": e["reason"]}
-                     for e in ranked},
+                     for e in ranked if not e.get("fused")},
     }
     return {"network": spec["network"], "node": snapshot.get("node"),
             "wall_s": wall, "processes": processes, "channels": ranked,
