@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Scale benchmark: thread vs. async scheduler backend, paired runs.
+
+Identical topologies at matched process counts on both backends:
+
+* ``ring``   -- Root -> Relay x (n-2) -> Drain.  A handful of tokens
+  traverse the whole chain, so every process parks/wakes and run time
+  measures per-hop scheduling cost at *depth* n.
+* ``fanout`` -- n//3 independent Source -> Relay -> Sink pipelines
+  running concurrently: scheduling cost at *width*, with many
+  simultaneously runnable actors and no cross-pipeline coupling.
+
+Each case runs in a fresh subprocess (clean interpreter, isolated
+memory, enforceable wall-clock budget).  A case that exceeds its budget
+or dies -- e.g. ``RuntimeError: can't start new thread`` once the
+thread backend exhausts OS limits -- records a DNF instead of aborting
+the whole benchmark; DNFs are exactly the data the comparison exists to
+collect.
+
+``--probe`` doubles the ring size per backend until the first DNF and
+reports the largest count that completed, i.e. the max sustainable
+process count within the budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(os.path.dirname(HERE), "src")
+
+TOKENS = 5
+FULL_COUNTS = [100, 1000, 10000]
+QUICK_COUNTS = [100, 1000]
+SMOKE_COUNTS = [100, 400]
+TOPOLOGIES = ["ring", "fanout"]
+
+
+# ---------------------------------------------------------------- child
+
+def _processes():
+    from repro.kpn.process import IterativeProcess
+    from repro.processes.codecs import LONG
+
+    class Root(IterativeProcess):
+        def __init__(self, out, tokens, **kw):
+            super().__init__(iterations=tokens, **kw)
+            self.out = out
+            self.track(out)
+            self.n = 0
+
+        def step(self):
+            LONG.write(self.out, self.n)
+            self.n += 1
+
+    class Relay(IterativeProcess):
+        def __init__(self, src, out, **kw):
+            super().__init__(**kw)
+            self.src = src
+            self.out = out
+            self.track(src, out)
+
+        def step(self):
+            LONG.write(self.out, LONG.read(self.src))
+
+    class Drain(IterativeProcess):
+        def __init__(self, src, **kw):
+            super().__init__(**kw)
+            self.src = src
+            self.track(src)
+            self.total = 0
+
+        def step(self):
+            self.total += LONG.read(self.src)
+
+    return Root, Relay, Drain
+
+
+def build_ring(net, n, tokens):
+    Root, Relay, Drain = _processes()
+    chans = [net.channel(name=f"r{i}") for i in range(n - 1)]
+    net.add(Root(chans[0].get_output_stream(), tokens, name="root"))
+    for i in range(1, n - 1):
+        net.add(Relay(chans[i - 1].get_input_stream(),
+                      chans[i].get_output_stream(), name=f"relay-{i}"))
+    drains = [net.add(Drain(chans[-1].get_input_stream(), name="drain"))]
+    return drains, [sum(range(tokens))]
+
+
+def build_fanout(net, n, tokens):
+    Root, Relay, Drain = _processes()
+    k = max(1, n // 3)
+    drains = []
+    for j in range(k):
+        a = net.channel(name=f"a{j}")
+        b = net.channel(name=f"b{j}")
+        net.add(Root(a.get_output_stream(), tokens, name=f"src-{j}"))
+        net.add(Relay(a.get_input_stream(), b.get_output_stream(),
+                      name=f"mid-{j}"))
+        drains.append(net.add(Drain(b.get_input_stream(), name=f"sink-{j}")))
+    return drains, [sum(range(tokens))] * k
+
+
+def run_case(topology, backend, n, budget, tokens=TOKENS):
+    sys.path.insert(0, SRC)
+    from repro.kpn.network import Network
+
+    result = {"topology": topology, "backend": backend, "n": n, "ok": False}
+    t0 = time.perf_counter()
+    net = Network(name=f"scale-{topology}", backend=backend)
+    builder = build_ring if topology == "ring" else build_fanout
+    drains, expect = builder(net, n, tokens)
+    nprocs = len(net.processes)
+    result["processes"] = nprocs
+    result["build_s"] = round(time.perf_counter() - t0, 4)
+    try:
+        t1 = time.perf_counter()
+        net.start()
+        start_s = time.perf_counter() - t1
+        t2 = time.perf_counter()
+        ok = net.join(timeout=budget)
+        run_s = time.perf_counter() - t2
+    except RuntimeError as exc:          # e.g. can't start new thread
+        result["error"] = str(exc)
+        try:
+            net.shutdown()
+            net.join(timeout=10)
+        except Exception:
+            pass
+        return result
+    totals = [d.total for d in drains]
+    # the case owns its subprocess, so self maxrss is this case's peak:
+    # resident stacks are where one-thread-per-process actually pays
+    import resource
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    result.update(
+        ok=bool(ok) and totals == expect,
+        start_s=round(start_s, 4),
+        run_s=round(run_s, 4),
+        total_s=round(start_s + run_s, 4),
+        startup_us_per_proc=round(start_s / nprocs * 1e6, 2),
+        steps_per_s=round(nprocs * tokens / max(start_s + run_s, 1e-9)),
+        peak_rss_mb=round(peak_kb / 1024, 1),
+    )
+    if not ok:
+        result["error"] = "timeout"
+    elif totals != expect:
+        result["error"] = "wrong totals"
+    return result
+
+
+# --------------------------------------------------------------- parent
+
+def spawn_case(topology, backend, n, budget):
+    """Run one case in a fresh interpreter; DNF on timeout or crash."""
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_BACKEND", None)
+    cmd = [sys.executable, os.path.abspath(__file__), "--case",
+           topology, backend, str(n), "--budget", str(budget)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=budget + 60, env=env)
+    except subprocess.TimeoutExpired:
+        return {"topology": topology, "backend": backend, "n": n,
+                "ok": False, "error": f"hard timeout ({budget}s)"}
+    for line in reversed(proc.stdout.splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            return json.loads(line)
+    return {"topology": topology, "backend": backend, "n": n, "ok": False,
+            "error": (proc.stderr.strip().splitlines() or ["no output"])[-1]}
+
+
+def probe_max(backend, budget, start=1000, cap=200_000):
+    """Double the ring size until the first DNF; report the last success."""
+    n, best = start, 0
+    while n <= cap:
+        r = spawn_case("ring", backend, n, budget)
+        print(f"  probe {backend:6s} n={n}: "
+              f"{'ok %.1fs' % r['total_s'] if r.get('ok') else 'DNF (%s)' % r.get('error')}",
+              flush=True)
+        if not r.get("ok"):
+            break
+        best = n
+        n *= 2
+    return best
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--case", nargs=3, metavar=("TOPO", "BACKEND", "N"),
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--budget", type=float, default=300.0,
+                    help="wall-clock budget per case, seconds")
+    ap.add_argument("--counts", type=int, nargs="+", default=None)
+    ap.add_argument("--quick", action="store_true",
+                    help=f"counts {QUICK_COUNTS}")
+    ap.add_argument("--smoke", action="store_true",
+                    help=f"CI smoke: counts {SMOKE_COUNTS}, ring only")
+    ap.add_argument("--probe", action="store_true",
+                    help="probe max sustainable ring size per backend")
+    ap.add_argument("--out", default=None, help="write JSON report here")
+    args = ap.parse_args(argv)
+
+    if args.case:
+        topo, backend, n = args.case
+        print(json.dumps(run_case(topo, backend, int(n), args.budget)))
+        return 0
+
+    counts = args.counts or (SMOKE_COUNTS if args.smoke
+                             else QUICK_COUNTS if args.quick else FULL_COUNTS)
+    topologies = ["ring"] if args.smoke else TOPOLOGIES
+    report = {
+        "bench": "scale",
+        "tokens": TOKENS,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "budget_s": args.budget,
+        "cases": [],
+        "pairs": [],
+    }
+    for topo in topologies:
+        for n in counts:
+            pair = {"topology": topo, "n": n}
+            for backend in ("thread", "async"):
+                r = spawn_case(topo, backend, n, args.budget)
+                report["cases"].append(r)
+                tag = ("%.2fs" % r["total_s"] if r.get("ok")
+                       else "DNF (%s)" % r.get("error"))
+                print(f"{topo:7s} n={n:<7d} {backend:6s} {tag}", flush=True)
+                pair[backend] = r.get("total_s") if r.get("ok") else None
+            t, a = pair.get("thread"), pair.get("async")
+            pair["ratio_thread_over_async"] = (
+                round(t / a, 2) if t and a else None)
+            # per-process scheduling cost is the headline number: total
+            # time hides it for threads (the ring drains while start()
+            # is still spawning, so run_s reads near zero)
+            tc = [c for c in report["cases"][-2:] if c.get("ok")]
+            by = {c["backend"]: c for c in tc}
+            ts, As = by.get("thread", {}), by.get("async", {})
+            if ts.get("startup_us_per_proc") and As.get("startup_us_per_proc"):
+                pair["startup_ratio_thread_over_async"] = round(
+                    ts["startup_us_per_proc"] / As["startup_us_per_proc"], 2)
+            if ts.get("peak_rss_mb") and As.get("peak_rss_mb"):
+                pair["rss_ratio_thread_over_async"] = round(
+                    ts["peak_rss_mb"] / As["peak_rss_mb"], 2)
+            report["pairs"].append(pair)
+    if args.probe:
+        report["max_sustainable"] = {
+            b: probe_max(b, args.budget) for b in ("thread", "async")}
+        print("max sustainable:", report["max_sustainable"], flush=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

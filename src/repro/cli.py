@@ -36,6 +36,7 @@ Chrome trace-event JSON file (load it in Perfetto / chrome://tracing).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -75,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="compute backend for shipped tasks/workers")
     p_server.add_argument("--pool-size", type=int, default=None,
                           help="executor pool width (default: CPU count)")
+    p_server.add_argument("--backend", default=None,
+                          choices=["thread", "async"],
+                          help="scheduler backend for the hosted network "
+                               "(also: REPRO_BACKEND)")
 
     p_registry = sub.add_parser("registry", help="start a name registry")
     p_registry.add_argument("--port", type=int, default=5000)
@@ -112,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("--trace-out", default=None, metavar="FILE",
                       help="run with telemetry on; write a Chrome "
                            "trace-event JSON file")
+    p_ex.add_argument("--backend", default=None,
+                      choices=["thread", "async"],
+                      help="scheduler backend: one OS thread per process "
+                           "or cooperative tasks on event loops "
+                           "(also: REPRO_BACKEND; default thread)")
 
     p_check = sub.add_parser("check",
                              help="consistency-check a figure network")
@@ -146,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig19 farm width (default 4)")
     p_prof.add_argument("--tasks", type=int, default=120,
                         help="fig19 task count (default 120)")
+    p_prof.add_argument("--backend", default=None,
+                        choices=["thread", "async"],
+                        help="scheduler backend (also: REPRO_BACKEND)")
 
     p_compile = sub.add_parser(
         "compile", help="print the graph compiler's fusion plan for a "
@@ -164,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fig19 farm width (default 4)")
     p_compile.add_argument("--tasks", type=int, default=120,
                            help="fig19 task count (default 120)")
+    p_compile.add_argument("--backend", default=None,
+                           choices=["thread", "async"],
+                           help="scheduler backend for --run "
+                                "(also: REPRO_BACKEND)")
 
     sub.add_parser("version", help="print the version")
     return parser
@@ -210,6 +227,8 @@ def _cmd_server(args) -> int:
         argv += ["--executor", args.executor]
     if args.pool_size is not None:
         argv += ["--pool-size", str(args.pool_size)]
+    if args.backend:
+        argv += ["--backend", args.backend]
     server_main(argv)
     return 0
 
@@ -570,6 +589,11 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend and args.command != "server":
+        # examples and figure networks build their own Network objects;
+        # the env var is how a backend choice reaches all of them
+        os.environ["REPRO_BACKEND"] = backend
     return _HANDLERS[args.command](args)
 
 

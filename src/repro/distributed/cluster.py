@@ -46,10 +46,14 @@ class LocalCluster:
                  profile: bool = False,
                  executor: Optional[str] = None,
                  pool_size: Optional[int] = None,
-                 optimize: bool = False) -> None:
+                 optimize: bool = False,
+                 backend: Optional[str] = None) -> None:
         if mode not in ("thread", "process"):
             raise ValueError("mode must be 'thread' or 'process'")
         self.mode = mode
+        #: scheduler backend each server's hosted network runs on
+        #: (None: that host's REPRO_BACKEND, default thread)
+        self.backend = backend
         self.n_servers = n_servers
         self.name_prefix = name_prefix
         #: run the graph compiler (:mod:`repro.kpn.compile`) over the
@@ -87,7 +91,7 @@ class LocalCluster:
             self.names.append(name)
             if self.mode == "thread":
                 server = ComputeServer(
-                    name=name, executor=self.executor,
+                    name=name, executor=self.executor, backend=self.backend,
                     registry=("127.0.0.1", self.registry_server.port)).start()
                 self._servers.append(server)
                 self.clients.append(ServerClient("127.0.0.1", server.port))
@@ -107,6 +111,8 @@ class LocalCluster:
             argv += ["--executor", self.executor]
         if self.pool_size is not None:
             argv += ["--pool-size", str(self.pool_size)]
+        if self.backend:
+            argv += ["--backend", self.backend]
         proc = subprocess.Popen(
             argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
         self._procs.append(proc)
@@ -273,8 +279,12 @@ def run_partitioned(local_part: Optional[Process],
     ``optimize`` runs the graph compiler over the local partition before
     it starts (defaults to ``cluster.optimize``).  Remote-pumped channels
     are never fused, so only same-host hops collapse.
+
+    When no ``network`` is supplied, the local partition runs on the
+    cluster's scheduler backend — remote parts already do, on their
+    servers' hosted networks.
     """
-    net = network or Network(name="partitioned")
+    net = network or Network(name="partitioned", backend=cluster.backend)
     for i, part in enumerate(remote_parts):
         cluster.client(i % len(cluster.clients)).run(part)
         time.sleep(settle)  # let listeners/pumps of that hop establish

@@ -81,7 +81,8 @@ class ComputeServer:
 
     def __init__(self, port: int = 0, name: str = "server",
                  registry: Optional[tuple[str, int]] = None,
-                 executor: Any = None) -> None:
+                 executor: Any = None,
+                 backend: Optional[str] = None) -> None:
         self.name = name
         #: compute backend spec for shipped ``call`` tasks (resolved lazily
         #: so servers that never execute tasks never build a pool)
@@ -89,8 +90,10 @@ class ComputeServer:
         self._exec: Any = None
         self._listener = open_listener(port)
         self.port = self._listener.getsockname()[1]
-        #: network hosting every process migrated to this server
-        self.network = Network(name=f"{name}-net").ensure_running()
+        #: network hosting every process migrated to this server;
+        #: ``backend`` picks its scheduler (None: REPRO_BACKEND or thread)
+        self.network = Network(name=f"{name}-net",
+                               backend=backend).ensure_running()
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._serve, name=f"{name}-accept",
                                         daemon=True)
@@ -201,6 +204,7 @@ class ComputeServer:
                     for p in self.network.processes if p.failure is not None
                 ]
                 return {"ok": True, "name": self.name,
+                        "backend": self.network.backend,
                         "tasks_run": self.tasks_run,
                         "processes_hosted": self.processes_hosted,
                         "live_threads": len(self.network.live_threads()),
@@ -427,6 +431,10 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
     parser.add_argument("--pool-size", type=int, default=None,
                         help="process/thread pool width (also: REPRO_POOL_SIZE;"
                              " default: CPU count)")
+    parser.add_argument("--backend", default=None,
+                        choices=["thread", "async"],
+                        help="scheduler backend for the hosted network "
+                             "(also: REPRO_BACKEND; default thread)")
     args = parser.parse_args(argv)
     if args.telemetry:
         _telemetry.enable()
@@ -449,7 +457,7 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
         host, _, port = args.registry.partition(":")
         registry = (host, int(port))
     server = ComputeServer(port=args.port, name=args.name,
-                           registry=registry).start()
+                           registry=registry, backend=args.backend).start()
     print(f"SERVER {args.name} LISTENING {server.port}", flush=True)
     threading.Event().wait()
 

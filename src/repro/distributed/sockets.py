@@ -236,6 +236,13 @@ class SenderPump(_LinkBase):
             while True:
                 try:
                     views = self._gather()
+                except BrokenChannelError:
+                    # the local producer *aborted* (cascade close).  The
+                    # abort classification is a local scheduling detail;
+                    # on the wire the stream simply ends, so the remote
+                    # reader sees the same EOF it always did.
+                    self._send(Tag.EOF)
+                    break
                 except ChannelError:
                     # our read side was closed (CLOSE_READ relayed): stop
                     break

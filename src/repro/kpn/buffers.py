@@ -19,8 +19,29 @@ the reproduction needs:
 
 * **Blocking accounting.**  Every potentially-blocking operation reports
   entry/exit to an optional :class:`BlockAccounting` object so that a
-  network-wide deadlock monitor can tell when *every* live process thread
-  is blocked — the precondition for Parks' artificial-deadlock resolution.
+  network-wide deadlock monitor can tell when *every* live process actor
+  (OS thread or cooperative task) is blocked — the precondition for
+  Parks' artificial-deadlock resolution.
+
+* **Cooperative (async-backend) hooks.**  When the current thread is an
+  event loop resuming a cooperative task (``Network(backend="async")``),
+  a thread-local *async context* is installed and every consuming or
+  blocking operation routes through it: instead of waiting on a condition
+  variable, an operation that would block raises out of the task's step,
+  the task parks on the buffer's waiter list (:meth:`async_park`) and is
+  re-scheduled by whichever thread next changes the buffer state.  The
+  non-blocking primitives (``try_read`` / ``try_readinto`` /
+  ``try_write_part``) and the waiter lists below exist for that backend;
+  the thread backend never touches them.
+
+* **Abort-aware close.**  ``close_write(aborted=True)`` marks the end of
+  stream as a *cascade* abort rather than a graceful exhaustion: readers
+  still drain every buffered byte, but instead of then observing a clean
+  EOF they get :class:`~repro.errors.BrokenChannelError`.  This keeps
+  EOF-tolerant merges (OrderedMerge, Select) from interpreting a
+  timing-dependent shutdown cascade as legitimate source exhaustion —
+  the fix for the merge-tail nondeterminism the fusion equivalence suite
+  used to exclude.
 
 The buffer is multi-producer/multi-consumer safe, although Kahn networks
 use it strictly single-producer/single-consumer.
@@ -34,7 +55,30 @@ from typing import Callable, Optional
 from repro.errors import BrokenChannelError, ChannelClosedError
 from repro.telemetry.core import TELEMETRY as _telemetry
 
-__all__ = ["BlockAccounting", "BoundedByteBuffer", "DEFAULT_CAPACITY"]
+__all__ = ["BlockAccounting", "BoundedByteBuffer", "DEFAULT_CAPACITY",
+           "current_async_context", "set_async_context"]
+
+
+class _AsyncTLS(threading.local):
+    """Per-thread pointer to the active async execution context."""
+    ctx = None
+
+
+_ASYNC = _AsyncTLS()
+
+
+def current_async_context():
+    """The async context installed on this thread, or None (thread mode)."""
+    return _ASYNC.ctx
+
+
+def set_async_context(ctx) -> None:
+    """Install (or clear, with None) this thread's async context.
+
+    Called by the event loop around each task resume; everything else
+    should treat the context as read-only.
+    """
+    _ASYNC.ctx = ctx
 
 #: Default channel capacity in bytes.  Java's ``PipedInputStream`` default
 #: is 1024 bytes; we match it so the paper's remark that "the default
@@ -46,16 +90,17 @@ class BlockAccounting:
     """Callback interface used by the scheduler's deadlock monitor.
 
     A network installs one accounting object on all of its channel buffers.
-    The default implementation counts blocked threads and invokes an
-    optional callback when the count changes, which is all the deadlock
+    The default implementation counts blocked *actors* — OS threads in the
+    thread backend, cooperative tasks in the async backend — and invokes
+    an optional callback when the count changes, which is all the deadlock
     monitor needs.  Methods are invoked *while holding the buffer's lock*,
     so implementations must not call back into the buffer.
     """
 
     def __init__(self, on_change: Optional[Callable[[], None]] = None) -> None:
         self._lock = threading.Lock()
-        #: thread -> (buffer, "read"|"write") for currently blocked threads
-        self._blocked: dict[threading.Thread, tuple["BoundedByteBuffer", str]] = {}
+        #: actor (thread or task) -> (buffer, "read"|"write") while blocked
+        self._blocked: dict[object, tuple["BoundedByteBuffer", str]] = {}
         #: bumped on every enter/exit so the monitor can detect churn
         #: between two observations (stability check)
         self.generation = 0
@@ -74,15 +119,18 @@ class BlockAccounting:
     def exit_write_wait(self, buffer: "BoundedByteBuffer") -> None:
         self._exit()
 
-    def _enter(self, buffer: "BoundedByteBuffer", mode: str) -> None:
+    def _enter(self, buffer: "BoundedByteBuffer", mode: str,
+               actor: object = None) -> None:
         with self._lock:
-            self._blocked[threading.current_thread()] = (buffer, mode)
+            key = actor if actor is not None else threading.current_thread()
+            self._blocked[key] = (buffer, mode)
             self.generation += 1
         self._notify()
 
-    def _exit(self) -> None:
+    def _exit(self, actor: object = None) -> None:
         with self._lock:
-            self._blocked.pop(threading.current_thread(), None)
+            key = actor if actor is not None else threading.current_thread()
+            self._blocked.pop(key, None)
             self.generation += 1
         self._notify()
 
@@ -91,8 +139,8 @@ class BlockAccounting:
             self._on_change()
 
     # -- queries (used by the deadlock monitor) --------------------------
-    def snapshot(self) -> dict[threading.Thread, tuple["BoundedByteBuffer", str]]:
-        """Consistent copy of the blocked-thread map."""
+    def snapshot(self) -> dict[object, tuple["BoundedByteBuffer", str]]:
+        """Consistent copy of the blocked-actor map."""
         with self._lock:
             return dict(self._blocked)
 
@@ -145,6 +193,14 @@ class BoundedByteBuffer:
         self._capacity = capacity
         self._read_closed = False
         self._write_closed = False
+        #: close_write(aborted=True) was used: drained readers observe a
+        #: BrokenChannelError instead of a clean end of stream
+        self._write_aborted = False
+        # cooperative tasks parked on this buffer (async backend); woken —
+        # popped and rescheduled — at every site that notifies the matching
+        # condition variable.  Empty (and free) under the thread backend.
+        self._async_readers: list = []
+        self._async_writers: list = []
         self.name = name
         self.accounting = accounting
         #: total bytes ever written / read (for stats & tests)
@@ -246,6 +302,158 @@ class BoundedByteBuffer:
             cb()
 
     # ------------------------------------------------------------------
+    # cooperative-task (async backend) support
+    # ------------------------------------------------------------------
+    def _check_aborted_eof(self) -> None:
+        """Raise instead of signalling EOF when the writer aborted (held lock)."""
+        if self._write_aborted:
+            raise BrokenChannelError(
+                f"writer of channel {self.name!r} aborted")
+
+    def _wake_async_readers(self) -> None:
+        """Reschedule tasks parked for data (caller holds the lock)."""
+        if self._async_readers:
+            waiters = self._async_readers
+            self._async_readers = []
+            acct = self.accounting
+            for w in waiters:
+                if acct is not None:
+                    acct._exit(actor=w)
+                w.unparked(self, "read")
+
+    def _wake_async_writers(self) -> None:
+        """Reschedule tasks parked for space (caller holds the lock)."""
+        if self._async_writers:
+            waiters = self._async_writers
+            self._async_writers = []
+            acct = self.accounting
+            for w in waiters:
+                if acct is not None:
+                    acct._exit(actor=w)
+                w.unparked(self, "write")
+
+    def async_park(self, mode: str, waiter) -> bool:
+        """Park a cooperative task on this buffer, or refuse.
+
+        Atomically re-checks that the operation would still block; a False
+        return means the buffer state changed since the task observed it
+        and the task should simply retry (classic lost-wakeup guard).  On
+        True the waiter is registered, blocked-actor accounting is entered
+        (the waiter object *is* the actor key) and a ``block.read`` /
+        ``block.write`` telemetry span opens — the waiter's ``unparked``
+        callback closes it.  ``waiter`` must expose ``unparked(buffer,
+        mode)`` (reschedule, called with the buffer lock held) and
+        ``name``.
+        """
+        with self._lock:
+            if mode == "read":
+                if (self._buffered() > 0 or self._write_closed
+                        or self._read_closed):
+                    return False
+                self._async_readers.append(waiter)
+            else:
+                if (self._buffered() < self._capacity or self._read_closed
+                        or self._write_closed):
+                    return False
+                self._async_writers.append(waiter)
+            acct = self.accounting
+            if acct is not None:
+                acct._enter(self, mode, actor=waiter)
+            if _telemetry.enabled:
+                _telemetry.begin(f"block.{mode}", category="kpn.block",
+                                 channel=self.name,
+                                 process=getattr(waiter, "name", ""),
+                                 **({"capacity": self._capacity}
+                                    if mode == "write" else {}))
+                _telemetry.inc(f"kpn.channel.{mode}_blocks", 1,
+                               channel=self.name)
+            return True
+
+    def try_read(self, max_bytes: int):
+        """Non-blocking :meth:`read`: bytes, ``b""`` at EOF, None if it
+        would block."""
+        if max_bytes <= 0:
+            return b""
+        with self._lock:
+            if self._read_closed:
+                raise ChannelClosedError(
+                    f"read on closed input of channel {self.name!r}")
+            if self._buffered() > 0:
+                return self._take_locked(max_bytes, steal=False).obj
+            if self._write_closed:
+                self._check_aborted_eof()
+                return b""
+            return None
+
+    def try_readinto(self, target) -> Optional[int]:
+        """Non-blocking :meth:`readinto`: count, 0 at EOF, None if it
+        would block."""
+        out = memoryview(target).cast("B")
+        if len(out) == 0:
+            return 0
+        with self._lock:
+            if self._read_closed:
+                raise ChannelClosedError(
+                    f"read on closed input of channel {self.name!r}")
+            buffered = self._buffered()
+            if buffered > 0:
+                take = min(len(out), buffered)
+                end = self._read_pos + take
+                with memoryview(self._data) as src:
+                    out[:take] = src[self._read_pos:end]
+                self._read_pos = end
+                self._compact()
+                self.total_read += take
+                if _telemetry.enabled:
+                    _telemetry.inc("kpn.channel.reads", 1, channel=self.name)
+                    _telemetry.inc("kpn.channel.bytes_read", take,
+                                   channel=self.name)
+                self._not_full.notify_all()
+                self._wake_async_writers()
+                return take
+            if self._write_closed:
+                self._check_aborted_eof()
+                return 0
+            return None
+
+    def try_write_part(self, view: memoryview, offset: int) -> int:
+        """Deliver as much of ``view[offset:]`` as fits, without blocking.
+
+        Returns the new offset; an offset short of ``len(view)`` means the
+        buffer filled up and the caller should park.  Raises exactly like
+        :meth:`write` on closed ends.  Bytes delivered before a park are
+        *final* — the async backend journals the offset and resumes here,
+        which is what makes a re-executed step idempotent at the channel.
+        """
+        with self._lock:
+            while offset < len(view):
+                if self._write_closed:
+                    raise ChannelClosedError(
+                        f"write on closed output of channel {self.name!r}")
+                if self._read_closed:
+                    raise BrokenChannelError(
+                        f"reader closed channel {self.name!r}")
+                space = self._capacity - self._buffered()
+                if space <= 0:
+                    return offset
+                chunk = view[offset:offset + space]
+                self._data.extend(chunk)
+                if self.history is not None:
+                    self.history.extend(chunk)
+                offset += len(chunk)
+                self.total_written += len(chunk)
+                buffered = self._buffered()
+                if buffered > self._high_watermark:
+                    self._high_watermark = buffered
+                if _telemetry.enabled:
+                    _telemetry.inc("kpn.channel.bytes_written", len(chunk),
+                                   channel=self.name)
+                self._not_empty.notify_all()
+                self._wake_async_readers()
+                self._fire_listeners()
+            return offset
+
+    # ------------------------------------------------------------------
     # data plane
     # ------------------------------------------------------------------
     def write(self, data) -> None:
@@ -264,6 +472,10 @@ class BoundedByteBuffer:
         """
         if not data:
             return
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            ctx.write(self, data)
+            return
         if _telemetry.enabled:
             _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
         with self._lock:
@@ -280,6 +492,11 @@ class BoundedByteBuffer:
         """
         views = [memoryview(c).cast("B") for c in chunks if len(c)]
         if not views:
+            return
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            for view in views:
+                ctx.write(self, view)
             return
         if _telemetry.enabled:
             _telemetry.inc("kpn.channel.writes", 1, channel=self.name)
@@ -315,6 +532,7 @@ class BoundedByteBuffer:
                     _telemetry.inc("kpn.channel.bytes_written", len(data),
                                    channel=self.name)
                 self._not_empty.notify_all()
+                self._wake_async_readers()
                 self._fire_listeners()
                 return
             self._write_locked(memoryview(data).cast("B"))
@@ -346,6 +564,7 @@ class BoundedByteBuffer:
                 _telemetry.inc("kpn.channel.bytes_written", len(chunk),
                                channel=self.name)
             self._not_empty.notify_all()
+            self._wake_async_readers()
             self._fire_listeners()
 
     def _block_on_full(self) -> None:
@@ -383,6 +602,9 @@ class BoundedByteBuffer:
         """
         if max_bytes <= 0:
             return b""
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            return ctx.read(self, max_bytes)
         with self._lock:
             while True:
                 if self._read_closed:
@@ -393,6 +615,7 @@ class BoundedByteBuffer:
                     # object; .obj hands it back without another copy.
                     return self._take_locked(max_bytes, steal=False).obj
                 if self._write_closed:
+                    self._check_aborted_eof()
                     return b""
                 self._block_on_empty()
 
@@ -426,6 +649,7 @@ class BoundedByteBuffer:
             _telemetry.inc("kpn.channel.reads", 1, channel=self.name)
             _telemetry.inc("kpn.channel.bytes_read", take, channel=self.name)
         self._not_full.notify_all()
+        self._wake_async_writers()
         return view
 
     def drain_up_to(self, max_bytes: int) -> memoryview:
@@ -441,6 +665,9 @@ class BoundedByteBuffer:
         """
         if max_bytes <= 0:
             return memoryview(b"")
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            return memoryview(ctx.read(self, max_bytes))
         with self._lock:
             while True:
                 if self._read_closed:
@@ -449,6 +676,7 @@ class BoundedByteBuffer:
                 if self._buffered() > 0:
                     return self._take_locked(max_bytes)
                 if self._write_closed:
+                    self._check_aborted_eof()
                     return memoryview(b"")
                 self._block_on_empty()
 
@@ -482,6 +710,9 @@ class BoundedByteBuffer:
         out = memoryview(target).cast("B")
         if len(out) == 0:
             return 0
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            return ctx.readinto(self, out)
         with self._lock:
             while True:
                 if self._read_closed:
@@ -502,8 +733,10 @@ class BoundedByteBuffer:
                         _telemetry.inc("kpn.channel.bytes_read", take,
                                        channel=self.name)
                     self._not_full.notify_all()
+                    self._wake_async_writers()
                     return take
                 if self._write_closed:
+                    self._check_aborted_eof()
                     return 0
                 self._block_on_empty()
 
@@ -538,19 +771,31 @@ class BoundedByteBuffer:
             self._read_pos = 0
             self.total_read += len(chunk)
             self._not_full.notify_all()
+            self._wake_async_writers()
             return chunk
 
     # ------------------------------------------------------------------
     # control plane
     # ------------------------------------------------------------------
-    def close_write(self) -> None:
-        """Close the producer side; readers drain then see end of stream."""
+    def close_write(self, aborted: bool = False) -> None:
+        """Close the producer side; readers drain then see end of stream.
+
+        With ``aborted=True`` the end of stream is a cascade abort: after
+        draining, readers get :class:`BrokenChannelError` instead of a
+        clean EOF.  A producer that terminates because its *own* output
+        was closed under it uses this, so downstream EOF-tolerant merges
+        die deterministically instead of pass-through-ing a
+        timing-dependent tail.
+        """
         with self._lock:
             if self._write_closed:
                 return
             self._write_closed = True
+            self._write_aborted = aborted
             self._not_empty.notify_all()
             self._not_full.notify_all()
+            self._wake_async_readers()
+            self._wake_async_writers()
             self._fire_listeners()
 
     def close_read(self) -> None:
@@ -563,6 +808,8 @@ class BoundedByteBuffer:
             self._read_pos = 0
             self._not_empty.notify_all()
             self._not_full.notify_all()
+            self._wake_async_readers()
+            self._wake_async_writers()
             self._fire_listeners()
 
     def record_history(self, enable: bool = True) -> None:
@@ -590,6 +837,19 @@ class BoundedByteBuffer:
         ring still show up in the channel history, so HistoryCapture
         sees the same stream fused and unfused.
         """
+        ctx = _ASYNC.ctx
+        if ctx is not None:
+            # history is observable state: a replayed step must not append
+            # the same bytes twice, so the async context journals this too
+            ctx.record_bytes(self, data)
+            return
+        with self._lock:
+            if self.history is not None:
+                self.history += data
+
+    def record_bytes_direct(self, data) -> None:
+        """:meth:`record_bytes` without the async-context hook (the async
+        context itself calls this once per *first* execution of an op)."""
         with self._lock:
             if self.history is not None:
                 self.history += data
@@ -612,6 +872,7 @@ class BoundedByteBuffer:
             old = self._capacity
             self._capacity = new_capacity
             self._not_full.notify_all()
+            self._wake_async_writers()
         if _telemetry.enabled and new_capacity != old:
             _telemetry.instant("channel.grow", category="kpn.channel",
                                channel=self.name, old=old, new=new_capacity,

@@ -66,6 +66,9 @@ class ChannelOutputStream(OutputStream):
     def close(self) -> None:
         self.sequence.close()
 
+    def abort(self) -> None:
+        self.sequence.abort()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ChannelOutputStream of {self.channel.name!r}>"
 

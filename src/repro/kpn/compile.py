@@ -94,6 +94,9 @@ class _FusedPipe:
         #: the producing stage's driver; wired by FusedChain
         self.upstream = None
         self.write_closed = False
+        #: like BoundedByteBuffer._write_aborted: the producer died of a
+        #: cascade, so the drained-out end of stream is an error, not EOF
+        self.write_aborted = False
         self.read_closed = False
         #: consumer endpoint, used to decode stray byte entries in
         #: object mode through the codec's normal stream reader
@@ -126,8 +129,10 @@ class _FusedPipe:
                 f"write on closed channel {self.channel.name!r}")
         self.entries.append((value,))
 
-    def close_write(self) -> None:
-        self.write_closed = True
+    def close_write(self, aborted: bool = False) -> None:
+        if not self.write_closed:
+            self.write_closed = True
+            self.write_aborted = aborted
 
     def close_read(self) -> None:
         self.read_closed = True
@@ -145,16 +150,28 @@ class _FusedPipe:
         """
         while not self.entries:
             if self.write_closed:
+                if self.write_aborted:
+                    raise BrokenChannelError(
+                        f"writer of channel {self.channel.name!r} aborted")
                 return False
             if self.read_closed:
                 raise ChannelClosedError(
                     f"read on closed channel {self.channel.name!r}")
             up = self.upstream
-            if up is None or not up.pump():
-                # The stage terminated; on_stop normally closed our write
-                # side.  If it did not (a stage overriding on_stop without
-                # closing its streams — the threaded runtime would leave
-                # the consumer blocked forever), report end of stream.
+            if up is None:
+                return False
+            if not up.pump():
+                # The stage terminated, and its on_stop ran inside pump():
+                # loop so the close it performed is re-examined — a stage
+                # killed by a cascade *aborted* our write side, and that
+                # abort must surface as BrokenChannelError above, not as a
+                # fake EOF (an EOF-tolerant merge downstream would switch
+                # to pass-through and emit a timing-dependent tail).
+                if self.write_closed:
+                    continue
+                # on_stop overridden without closing its streams — the
+                # threaded runtime would leave the consumer blocked
+                # forever; report end of stream instead.
                 return False
         return True
 
@@ -239,6 +256,9 @@ class _PipeOutput(OutputStream):
 
     def close(self) -> None:
         self.pipe.close_write()
+
+    def abort(self) -> None:
+        self.pipe.close_write(aborted=True)
 
 
 class _PipeInput(InputStream):
@@ -351,7 +371,11 @@ class _StageDriver:
             return True
         except StopProcess:
             self._finish("stop")
-        except ChannelError:
+        except ChannelError as exc:
+            # mirror IterativeProcess.run: a broken/closed channel is a
+            # cascade — abort the stage's outputs rather than close them
+            if isinstance(exc, (BrokenChannelError, ChannelClosedError)):
+                st._abort_on_close = True
             self._finish("channel-closed")
         except Exception as exc:  # noqa: BLE001 - mirror IterativeProcess.run
             st.failure = exc

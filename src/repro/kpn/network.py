@@ -26,6 +26,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Iterable, List, Optional
@@ -36,7 +37,21 @@ from repro.kpn.channel import Channel
 from repro.kpn.process import CompositeProcess, Process
 from repro.kpn.scheduler import DeadlockMonitor, DeadlockPolicy
 
-__all__ = ["Network"]
+__all__ = ["Network", "BACKENDS", "resolve_backend"]
+
+#: scheduler backends: "thread" is the paper's one-OS-thread-per-process
+#: reference; "async" multiplexes cooperative tasks over event loops
+#: (see :mod:`repro.kpn.aio`) for 10k+-process graphs.
+BACKENDS = ("thread", "async")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Explicit argument > ``REPRO_BACKEND`` env > ``"thread"``."""
+    choice = backend or os.environ.get("REPRO_BACKEND") or "thread"
+    if choice not in BACKENDS:
+        raise ValueError(
+            f"unknown scheduler backend {choice!r}; pick one of {BACKENDS}")
+    return choice
 
 
 class Network:
@@ -59,14 +74,33 @@ class Network:
         created via :meth:`channel` with a name in the spec (and no
         explicit capacity) start pre-sized, avoiding grow-on-deadlock
         cycles even without the graph compiler.
+    backend:
+        Scheduler backend: ``"thread"`` (default; one OS thread per
+        process, the paper's model) or ``"async"`` (cooperative tasks
+        multiplexed over event loops — see :mod:`repro.kpn.aio`).
+        ``None`` consults the ``REPRO_BACKEND`` environment variable.
+        Processes the async runtime cannot host (custom ``run`` loops,
+        ``@nondeterminate`` processes) transparently keep their own
+        thread; the two actor kinds share channels freely.
+    workers:
+        Event-loop threads for the async backend (ignored under
+        ``"thread"``).  One loop per core is plenty: tasks are
+        cooperative, so loops only buy parallelism, not concurrency.
     """
 
     def __init__(self, bounded: bool = True,
                  default_capacity: int = DEFAULT_CAPACITY,
                  policy: Optional[DeadlockPolicy] = None,
                  name: str = "network",
-                 capacity_spec=None) -> None:
+                 capacity_spec=None,
+                 backend: Optional[str] = None,
+                 workers: int = 1) -> None:
         self.name = name
+        self.backend = resolve_backend(backend)
+        self._loops = None
+        if self.backend == "async":
+            from repro.kpn.aio import LoopPool
+            self._loops = LoopPool(workers, name=f"{name}-loop")
         self.default_capacity = default_capacity
         if capacity_spec:
             from repro.kpn.compile import load_capacity_spec
@@ -76,6 +110,11 @@ class Network:
         self.accounting = BlockAccounting(on_change=self._kick_monitor)
         self.channels: List[Channel] = []
         self.processes: List[Process] = []
+        # identity set shadowing ``processes`` — membership checks on the
+        # 10k-process spawn path must not scan the list (O(n^2) startup).
+        # Safe because the list is append-only: every id in the set keeps
+        # its object alive via the list, so ids are never recycled.
+        self._process_ids: set = set()
         self._threads: List[threading.Thread] = []
         self._lock = threading.RLock()
         self._started = False
@@ -120,7 +159,9 @@ class Network:
             for member in process.processes:
                 member.network = self
         with self._lock:
-            self.processes.append(process)
+            if id(process) not in self._process_ids:
+                self._process_ids.add(id(process))
+                self.processes.append(process)
         return process
 
     def add_all(self, processes: Iterable[Process]) -> None:
@@ -130,24 +171,40 @@ class Network:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def spawn(self, process: Process) -> threading.Thread:
-        """Start ``process`` immediately in a tracked daemon thread.
+    def spawn(self, process: Process):
+        """Start ``process`` immediately as a tracked actor.
 
-        Used both by :meth:`start` and by running processes that insert
-        new processes into the graph (Sift, MetaDynamic reconfiguration).
+        Under the thread backend (and for processes the async runtime
+        cannot host) the actor is a daemon thread; under the async
+        backend, hostable processes become cooperative tasks on one of
+        the network's event loops.  Either way the returned handle
+        supports ``join``/``is_alive``/``name``.  Used both by
+        :meth:`start` and by running processes that insert new processes
+        into the graph (Sift, MetaDynamic reconfiguration).
         """
         process.network = self
         if isinstance(process, CompositeProcess):
             for member in process.processes:
                 member.network = self
-        thread = threading.Thread(target=self._run_process, args=(process,),
-                                  name=process.name, daemon=True)
+        actor = None
+        if self._loops is not None:
+            from repro.kpn.aio import Task, async_hostable
+            if async_hostable(process):
+                actor = Task(process, self._loops.place(),
+                             on_finish=self._kick_monitor)
+        if actor is None:
+            actor = threading.Thread(target=self._run_process,
+                                     args=(process,),
+                                     name=process.name, daemon=True)
         with self._lock:
-            self._threads.append(thread)
-            if process not in self.processes:
+            self._threads.append(actor)
+            # identity-set membership, not a list scan: spawn() runs once
+            # per process and a linear check makes startup O(n^2)
+            if id(process) not in self._process_ids:
+                self._process_ids.add(id(process))
                 self.processes.append(process)
-        thread.start()
-        return thread
+        actor.start()
+        return actor
 
     def _run_process(self, process: Process) -> None:
         try:
@@ -202,9 +259,13 @@ class Network:
             pending = [p for p in self.processes]
         if self.monitor is not None:
             self.monitor.start()
+        with self._lock:
+            spawned = {t.name for t in self._threads}
         for p in pending:
-            already = any(t.name == p.name for t in self._threads)
-            if not already:
+            # set membership, not a linear scan: start() is on the
+            # 10k-process scale path and a per-process scan is O(n^2)
+            if p.name not in spawned:
+                spawned.add(p.name)
                 self.spawn(p)
         return self
 
@@ -223,8 +284,8 @@ class Network:
             self.monitor.start()
         return self
 
-    def live_threads(self) -> List[threading.Thread]:
-        """Process threads that are currently alive (monitor's view)."""
+    def live_threads(self) -> List:
+        """Process actors (threads and tasks) still alive (monitor's view)."""
         with self._lock:
             return [t for t in self._threads if t.is_alive()]
 
@@ -258,6 +319,8 @@ class Network:
             self.monitor.stop()
             if self.monitor.error is not None:
                 raise self.monitor.error
+        if self._loops is not None:
+            self._loops.stop()
         self.raise_failures()
         return True
 
@@ -305,6 +368,9 @@ class Network:
             self.shutdown()
         if self.monitor is not None:
             self.monitor.stop()
+        if self._loops is not None and not any(
+                t.is_alive() for t in self._threads):
+            self._loops.stop()
 
     # ------------------------------------------------------------------
     # analysis
@@ -411,10 +477,12 @@ class Network:
         live = self.live_threads()
         live_names = [t.name for t in live]
         blocked = []
-        for thread, (buffer, mode) in blocked_map.items():
-            if thread in live:
+        for actor, (buffer, mode) in blocked_map.items():
+            if actor in live:
                 blocked.append({
-                    "thread": thread.name,
+                    "thread": actor.name,
+                    "kind": ("thread" if isinstance(actor, threading.Thread)
+                             else "task"),
                     "mode": mode,
                     "channel": buffer.name,
                     "capacity": buffer.capacity,
@@ -426,6 +494,7 @@ class Network:
                       or getattr(ch, "sender_pump", None) is not None]
         return {
             "network": self.name,
+            "backend": self.backend,
             "generation": self.accounting.generation,
             "live": live_names,
             "blocked": blocked,

@@ -21,7 +21,7 @@ import itertools
 import threading
 from typing import Iterable, List, Optional, Sequence
 
-from repro.errors import ChannelError
+from repro.errors import BrokenChannelError, ChannelClosedError, ChannelError
 from repro.kpn.channel import Channel
 from repro.kpn.streams import InputStream, OutputStream
 from repro.telemetry.core import TELEMETRY as _telemetry
@@ -136,6 +136,12 @@ class Process:
         #: set on the serialized copy during live migration so the resume
         #: skips on_start (it already ran on the origin server)
         self._live_migrated = False
+        #: when True, close_all_streams *aborts* outputs instead of closing
+        #: them: the downstream EOF arrives as BrokenChannelError, marking
+        #: the end of stream as a shutdown cascade rather than exhaustion.
+        #: run() sets it when the process itself died of a broken/closed
+        #: channel (the cascade case); graceful terminations leave it off.
+        self._abort_on_close = False
 
     def control(self) -> ProcessControl:
         """The pause/resume control, created lazily (not picklable)."""
@@ -169,10 +175,20 @@ class Process:
                 self.input_streams.remove(s)
 
     def close_all_streams(self) -> None:
-        """Close every tracked stream (the default ``onStop`` behaviour)."""
+        """Close every tracked stream (the default ``onStop`` behaviour).
+
+        Outputs are *aborted* instead of closed when the process died of a
+        termination cascade (see :attr:`_abort_on_close`); inputs have no
+        graceful/abort distinction — closing the read side always breaks
+        the writer immediately.
+        """
+        abort = self._abort_on_close
         for s in self.output_streams:
             try:
-                s.close()
+                if abort:
+                    getattr(s, "abort", s.close)()
+                else:
+                    s.close()
             except Exception:
                 pass
         for s in self.input_streams:
@@ -288,10 +304,16 @@ class IterativeProcess(Process):
             # Voluntary, data-dependent termination (Guard, ConsumerTask
             # finding its answer): treated like an iteration limit.
             reason = "stop"
-        except ChannelError:
+        except ChannelError as exc:
             # Normal termination signal: an upstream or downstream process
-            # stopped and closed its streams (section 3.4).
+            # stopped and closed its streams (section 3.4).  A *graceful*
+            # end (EndOfStreamError after source exhaustion) closes our
+            # outputs normally; a cascade (the channel broken or closed
+            # under us) aborts them, so the abort — not a fake EOF —
+            # propagates downstream and merge tails stay deterministic.
             reason = "channel-closed"
+            if isinstance(exc, (BrokenChannelError, ChannelClosedError)):
+                self._abort_on_close = True
         except Exception as exc:  # noqa: BLE001 - report, then still clean up
             self.failure = exc
             reason = "failure"

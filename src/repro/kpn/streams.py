@@ -108,6 +108,19 @@ class OutputStream:
     def close(self) -> None:
         raise NotImplementedError
 
+    def abort(self) -> None:
+        """Close this sink marking the end of stream as a cascade abort.
+
+        A process whose own output was closed under it (BrokenChannelError
+        / ChannelClosedError) aborts its remaining outputs instead of
+        closing them: consumers drain what was delivered, then observe
+        :class:`~repro.errors.BrokenChannelError` rather than a clean EOF
+        — so EOF-tolerant merges cannot mistake a timing-dependent
+        shutdown cut for source exhaustion.  Sinks without an abort
+        distinction fall back to a plain close.
+        """
+        self.close()
+
 
 # ---------------------------------------------------------------------------
 # local (shared-memory) implementations
@@ -152,6 +165,9 @@ class LocalOutputStream(OutputStream):
 
     def close(self) -> None:
         self.buffer.close_write()
+
+    def abort(self) -> None:
+        self.buffer.close_write(aborted=True)
 
 
 # ---------------------------------------------------------------------------
@@ -427,6 +443,14 @@ class SequenceOutputStream(OutputStream):
             self._closed = True
             target = self._target
         target.close()
+
+    def abort(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            target = self._target
+        target.abort()
 
 
 def concatenated(streams: Iterable[InputStream]) -> SequenceInputStream:

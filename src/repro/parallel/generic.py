@@ -38,6 +38,11 @@ class Producer(IterativeProcess):
     mechanism); a producer task returning ``None`` ends the supply early.
     """
 
+    #: user Task objects mutate their own (non-builtin) state in run() —
+    #: e.g. RangeProducerTask.next_index — which the async backend's
+    #: speculative replay cannot roll back; farms host on threads
+    kpn_async = False
+
     def __init__(self, task: Any, out: OutputStream, iterations: int = 0,
                  name: Optional[str] = None) -> None:
         super().__init__(iterations=iterations, name=name)
@@ -71,6 +76,10 @@ class Worker(IterativeProcess):
     bounded-buffer semantics are untouched — it just blocks on the
     executor's future instead of the GIL.
     """
+
+    #: runs arbitrary user tasks (and may time.sleep a slowdown): not
+    #: replay-safe and must not stall a shared event-loop thread
+    kpn_async = False
 
     def __init__(self, source: InputStream, out: OutputStream,
                  iterations: int = 0, slowdown: float = 0.0,
@@ -127,6 +136,9 @@ class Consumer(IterativeProcess):
     predicate on those values holds — both optional, neither changes the
     Task protocol.
     """
+
+    #: consumer tasks are user code too (see Producer.kpn_async)
+    kpn_async = False
 
     def __init__(self, source: InputStream, iterations: int = 0,
                  collect_into: Optional[List[Any]] = None,

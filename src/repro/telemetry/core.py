@@ -208,6 +208,24 @@ class TelemetryHub:
         self._t0 = time.monotonic()
         #: total events ever emitted (survives ring-buffer eviction)
         self.events_emitted = 0
+        #: per-thread actor override: ``(tid, name)`` attributed to events
+        #: instead of the OS thread.  The async scheduler backend sets it
+        #: around each coroutine-task resume so events from tasks that
+        #: share one event-loop thread land in distinct virtual lanes.
+        self._actor = threading.local()
+
+    # ------------------------------------------------------------------
+    # actor attribution (async scheduler backend)
+    # ------------------------------------------------------------------
+    def swap_actor(self, actor: Optional[Tuple[int, str]]) -> Optional[Tuple[int, str]]:
+        """Install an ``(tid, name)`` actor override for the calling
+        thread, returning the previous override (None if none).
+
+        Virtual tids should not collide with OS thread idents — the async
+        backend uses negative integers."""
+        prev = getattr(self._actor, "value", None)
+        self._actor.value = actor
+        return prev
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -254,9 +272,14 @@ class TelemetryHub:
               args: Optional[Dict[str, Any]]) -> None:
         if not self.enabled:
             return
-        t = threading.current_thread()
-        event = Event(self.now(), phase, name, category, t.ident or 0,
-                      t.name, args or None)
+        actor = getattr(self._actor, "value", None)
+        if actor is not None:
+            tid, thread_name = actor
+        else:
+            t = threading.current_thread()
+            tid, thread_name = t.ident or 0, t.name
+        event = Event(self.now(), phase, name, category, tid,
+                      thread_name, args or None)
         with self._lock:
             self._events.append(event)
             self.events_emitted += 1

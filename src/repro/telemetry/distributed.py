@@ -198,7 +198,7 @@ def write_merged_trace(path: str, nodes: Iterable[Mapping[str, Any]]) -> str:
 # the `repro top` screen
 # ---------------------------------------------------------------------------
 
-_TOP_COLUMNS = ("SERVER", "UP", "TASKS", "PROCS", "THR", "CHAN",
+_TOP_COLUMNS = ("SERVER", "UP", "BACK", "TASKS", "PROCS", "THR", "CHAN",
                 "BLK-R", "BLK-W", "BUF-B", "TELEM")
 
 
@@ -240,7 +240,7 @@ def render_top(rows: Sequence[Mapping[str, Any]],
     channel name, plus utilization) sourced from the profiler's
     accounting rather than the instantaneous wait snapshot.
     """
-    widths = (14, 7, 7, 7, 5, 5, 6, 6, 9, 6)
+    widths = (14, 7, 6, 7, 7, 5, 5, 6, 6, 9, 6)
     header = " ".join(f"{c:>{w}}" for c, w in zip(_TOP_COLUMNS, widths))
     lines = [header, "-" * len(header)]
     details: List[str] = []
@@ -256,6 +256,7 @@ def render_top(rows: Sequence[Mapping[str, Any]],
         cells = (
             name,
             _fmt_uptime(stats.get("uptime_seconds")),
+            stats.get("backend") or snap.get("backend") or "?",
             stats.get("tasks_run", "?"),
             stats.get("processes_hosted", "?"),
             stats.get("live_threads", "?"),
@@ -267,9 +268,12 @@ def render_top(rows: Sequence[Mapping[str, Any]],
         if show_blocked:
             for b in blocked:
                 fill = f"{b.get('buffered', 0)}/{b.get('capacity', '?')}B"
+                # async-backend waiters are parked tasks, not threads —
+                # tag them so a wait-graph reader knows what's suspended
+                kind = " [task]" if b.get("kind") == "task" else ""
                 details.append(f"  {name}: {b.get('thread')} blocked-"
                                f"{b.get('mode')} on {b.get('channel')} "
-                               f"({fill})")
+                               f"({fill}){kind}")
         profile = row.get("profile") or {}
         if profile.get("processes"):
             from repro.telemetry.profile import process_utilization

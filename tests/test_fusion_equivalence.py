@@ -11,14 +11,16 @@ The Kahn-semantics contract of the graph compiler is that fusion changes
 * **Sink-limited** examples (a ``Collect`` with an iteration cap, or
   Guard-triggered stop, feeding off an unbounded generator) end in a
   cascading shutdown whose cut point depends on thread timing.  Channel
-  histories are prefix-ordered per Kahn up to that cut — EXCEPT at the
-  outputs of EOF-tolerant merges (``OrderedMerge``, ``Select``), which
-  legitimately switch to pass-through when one input closes under them:
-  where the cascade lands mid-merge, two runs of even the *unfused*
-  network produce non-comparable tails (verified by
-  ``test_unfused_shutdown_nondeterminism_is_preexisting`` below).  So
-  here we assert exact sink outputs, plus byte-prefix equality on every
-  channel not produced by an EOF-tolerant merge.
+  histories are prefix-ordered per Kahn up to that cut — *including* at
+  the outputs of EOF-tolerant merges (``OrderedMerge``, ``Select``).
+  Historically those tails were excluded: a cascade-terminated producer
+  used to close its output like a clean EOF, so a merge could
+  legitimately switch to pass-through mid-shutdown and emit a
+  timing-dependent tail.  Abort-propagating close (``close_write(
+  aborted=True)``) removed that escape hatch — the merge now sees the
+  abort instead of an EOF and stops rather than improvising — so here
+  we assert exact sink outputs plus byte-prefix equality on **every**
+  channel (see ``test_merge_tails_prefix_deterministic`` below).
 
 The dynamic task farm contains a declared-``@nondeterminate`` Turnstile;
 only its result *set* is stable, and the compiler refuses to fuse the
@@ -116,27 +118,31 @@ def test_sink_limited_outputs_exact_histories_prefix(name):
     else:
         assert plan.chains, f"{name}: expected at least one fused chain"
     assert o1 == o0, f"{name}: sink outputs diverged"
-    skip = eof_tolerant_producers(net0)
     assert set(h1) == set(h0)
     for ch in h0:
-        if ch in skip:
-            continue
         n = min(len(h0[ch]), len(h1[ch]))
         assert h1[ch][:n] == h0[ch][:n], \
             f"{name}: history prefix of {ch} diverged"
 
 
-def test_unfused_shutdown_nondeterminism_is_preexisting():
-    """Documented scope of the prefix regime: merge tails under the
-    shutdown cascade are timing-dependent even without the compiler, so
-    exact equality there would be asserting something the threaded
-    runtime never guaranteed.  Cheap structural stand-in: the skipped
-    set is exactly the merge outputs."""
-    net = hamming(10).network
-    skip = eof_tolerant_producers(net)
-    assert skip  # hamming's merge tree is the canonical case
+def test_merge_tails_prefix_deterministic():
+    """Abort-propagating close makes merge tails prefix-deterministic
+    under the shutdown cascade: a cascade-terminated input now aborts
+    its output channel instead of presenting a clean EOF, so the merge
+    never switches to pass-through mid-shutdown.  Two independent runs
+    of the *unfused* hamming network must agree (prefix-wise) on the
+    merge-output channels that used to be excluded from comparison."""
+    h0, o0, net0, _ = run_example(SINK_LIMITED["hamming"], optimize=False)
+    h1, o1, _, _ = run_example(SINK_LIMITED["hamming"], optimize=False)
+    merges = eof_tolerant_producers(net0)
+    assert merges  # hamming's merge tree is the canonical case
     assert all(ch.startswith("ham-merge") or ch == "ham-merged"
-               for ch in skip)
+               for ch in merges)
+    assert o1 == o0
+    for ch in merges:
+        n = min(len(h0[ch]), len(h1[ch]))
+        assert h1[ch][:n] == h0[ch][:n], \
+            f"merge tail {ch} diverged across identical unfused runs"
 
 
 def test_dynamic_farm_result_set_stable():
